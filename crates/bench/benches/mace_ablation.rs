@@ -1,0 +1,76 @@
+//! Criterion bench backing the paper's §3.3 claim: the modified
+//! three-objective MACE acquisition search is cheaper than the original
+//! six-objective ensemble at equal NSGA-II budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kato::mace::{MaceProposer, MaceVariant};
+use kato::{metric_columns, BoSettings, MetricModels, Mode, ModelConfig, RunHistory};
+use kato_circuits::{random_design, SizingProblem, TechNode, TwoStageOpAmp};
+use kato_gp::{GpConfig, KatConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fitted_stack() -> (TwoStageOpAmp, MetricModels, f64) {
+    let problem = TwoStageOpAmp::new(TechNode::n180());
+    let mut history = RunHistory::new("bench", "bench", 0);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..30 {
+        let x = random_design(problem.dim(), &mut rng);
+        history.evaluate_and_push(&problem, &Mode::Constrained, x);
+    }
+    let xs: Vec<Vec<f64>> = history.evals.iter().map(|e| e.x.clone()).collect();
+    let refs: Vec<&kato_circuits::Metrics> =
+        history.evals.iter().map(|e| &e.metrics).collect();
+    let cols = metric_columns(&refs);
+    let cfg = ModelConfig {
+        gp: GpConfig {
+            train_iters: 10,
+            ..GpConfig::fast()
+        },
+        kat: KatConfig::fast(),
+        ..ModelConfig::default()
+    };
+    let models =
+        MetricModels::fit_gp(problem.dim(), &xs, &cols, problem.specs(), &cfg).unwrap();
+    // Soft incumbent (nothing may be feasible in 30 random samples).
+    let incumbent = history
+        .evals
+        .iter()
+        .map(|e| {
+            e.metrics.objective(problem.specs()).unwrap_or(0.0)
+                - 10.0 * e.metrics.violation(problem.specs())
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    (problem, models, incumbent)
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let (problem, models, incumbent) = fitted_stack();
+    let settings = BoSettings::quick(50, 1);
+    for (variant, name) in [
+        (MaceVariant::Full, "mace_front_6obj"),
+        (MaceVariant::Modified, "mace_front_3obj"),
+    ] {
+        let proposer = MaceProposer::new(variant);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(proposer.pareto_front(
+                    &models,
+                    problem.dim(),
+                    incumbent,
+                    &settings,
+                    0,
+                    &[],
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variants
+}
+criterion_main!(ablation);

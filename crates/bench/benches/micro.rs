@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the performance-critical substrates:
+//! circuit evaluation (the "simulator" cost), GP fitting (the BO overhead),
+//! Neural-Kernel prediction and NSGA-II generations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kato_circuits::{Bandgap, SizingProblem, TechNode, TwoStageOpAmp};
+use kato_gp::{Gp, GpConfig, KernelSpec};
+use kato_nsga::{Nsga2, Nsga2Config};
+use std::hint::black_box;
+
+fn bench_circuits(c: &mut Criterion) {
+    let opamp = TwoStageOpAmp::new(TechNode::n180());
+    let x2 = vec![0.5; opamp.dim()];
+    c.bench_function("opamp2_eval", |b| {
+        b.iter(|| black_box(opamp.evaluate(black_box(&x2))))
+    });
+
+    let bandgap = Bandgap::new(TechNode::n180());
+    let xb = vec![0.5; bandgap.dim()];
+    c.bench_function("bandgap_eval_tempsweep", |b| {
+        b.iter(|| black_box(bandgap.evaluate(black_box(&xb))))
+    });
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..30)
+        .map(|i| {
+            let t = i as f64 / 29.0;
+            vec![t, (t * 3.3) % 1.0, (t * 7.1) % 1.0]
+        })
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin() + x[1]).collect();
+    let cfg = GpConfig {
+        train_iters: 10,
+        ..GpConfig::fast()
+    };
+    c.bench_function("gp_fit_neuk_n30", |b| {
+        b.iter(|| Gp::fit(KernelSpec::neuk(3), black_box(&xs), black_box(&ys), &cfg).unwrap())
+    });
+    let gp = Gp::fit(KernelSpec::neuk(3), &xs, &ys, &cfg).unwrap();
+    c.bench_function("gp_predict_neuk_n30", |b| {
+        b.iter(|| black_box(gp.predict(black_box(&[0.4, 0.6, 0.1]))))
+    });
+}
+
+fn bench_nsga(c: &mut Criterion) {
+    c.bench_function("nsga2_pop32_gen10_2obj", |b| {
+        b.iter(|| {
+            Nsga2::new(Nsga2Config {
+                dim: 6,
+                pop_size: 32,
+                generations: 10,
+                seed: 1,
+                ..Nsga2Config::default()
+            })
+            .run(|x| vec![x[0], 1.0 - x.iter().sum::<f64>() / 6.0])
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_circuits, bench_gp, bench_nsga
+}
+criterion_main!(micro);

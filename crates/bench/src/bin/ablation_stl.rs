@@ -1,0 +1,61 @@
+//! Ablation for paper **§3.4**: Selective Transfer Learning with a
+//! deliberately *mismatched* source (bandgap → two-stage op-amp). Forced
+//! transfer should suffer; STL should track the no-transfer baseline.
+
+use kato::{BoSettings, Kato, Mode, RunHistory, SourceData};
+use kato_bench::{final_stats, print_series, Profile};
+use kato_circuits::{Bandgap, SizingProblem, TechNode, TwoStageOpAmp};
+
+fn main() {
+    let profile = Profile::from_args();
+    let target = TwoStageOpAmp::new(TechNode::n180());
+    let bad_source_problem = Bandgap::new(TechNode::n180());
+    println!(
+        "=== Ablation (paper 3.4): STL under negative transfer ({} -> {}) ===",
+        bad_source_problem.name(),
+        target.name()
+    );
+
+    let mut none: Vec<RunHistory> = Vec::new();
+    let mut stl: Vec<RunHistory> = Vec::new();
+    let mut forced: Vec<RunHistory> = Vec::new();
+    for &seed in &profile.seeds {
+        let mut s = if profile.full {
+            BoSettings::paper(profile.budget + profile.n_init_con, seed)
+        } else {
+            BoSettings::quick(profile.budget + profile.n_init_con, seed)
+        };
+        s.n_init = profile.n_init_con;
+        let src =
+            SourceData::from_problem_random(&bad_source_problem, profile.source_n, seed ^ 0x33);
+        none.push(Kato::new(s.clone()).run(&target, Mode::Constrained));
+        stl.push(
+            Kato::new(s.clone())
+                .with_source(src.clone())
+                .with_label("KATO+STL(bad src)")
+                .run(&target, Mode::Constrained),
+        );
+        forced.push(
+            Kato::new(s)
+                .with_source(src)
+                .with_forced_transfer()
+                .with_label("KATO forced-TL(bad src)")
+                .run(&target, Mode::Constrained),
+        );
+    }
+    print_series(
+        "STL vs forced transfer vs no transfer (mismatched source)",
+        &[
+            ("no-transfer", none.clone()),
+            ("STL", stl.clone()),
+            ("forced-TL", forced.clone()),
+        ],
+        10,
+        "ablation_stl.csv",
+    );
+    let (m_none, _) = final_stats(&none);
+    let (m_stl, _) = final_stats(&stl);
+    let (m_forced, _) = final_stats(&forced);
+    println!("\nfinal means: no-transfer {m_none:.3}, STL {m_stl:.3}, forced {m_forced:.3}");
+    println!("Expected shape: STL within noise of no-transfer; forced transfer degraded.");
+}

@@ -1,0 +1,130 @@
+//! Reproduces **Fig. 6**: constrained sizing with transfer learning across
+//! technology nodes and topologies (paper §4.3) — KATO with and without
+//! transfer on six source→target panels, plus the TLMBO comparison (FOM
+//! mode, node transfer only, as in the paper).
+
+use kato::baselines::{source_fom_archive, Tlmbo};
+use kato::{BoSettings, Kato, Mode, RunHistory, SourceData};
+use kato_bench::{final_stats, mean_sims_to_reach, print_series, Profile};
+use kato_circuits::{FomSpec, SizingProblem, TechNode, ThreeStageOpAmp, TwoStageOpAmp};
+
+fn settings(profile: &Profile, seed: u64) -> BoSettings {
+    let mut s = if profile.full {
+        BoSettings::paper(profile.budget + profile.n_init_con, seed)
+    } else {
+        BoSettings::quick(profile.budget + profile.n_init_con, seed)
+    };
+    s.n_init = profile.n_init_con;
+    s
+}
+
+fn problem_by_key(key: &str) -> Box<dyn SizingProblem> {
+    match key {
+        "opamp2_180nm" => Box::new(TwoStageOpAmp::new(TechNode::n180())),
+        "opamp2_40nm" => Box::new(TwoStageOpAmp::new(TechNode::n40())),
+        "opamp3_180nm" => Box::new(ThreeStageOpAmp::new(TechNode::n180())),
+        "opamp3_40nm" => Box::new(ThreeStageOpAmp::new(TechNode::n40())),
+        other => panic!("unknown problem key {other}"),
+    }
+}
+
+fn run_panel(panel: &str, source_key: &str, target_key: &str, profile: &Profile) {
+    let source = problem_by_key(source_key);
+    let target = problem_by_key(target_key);
+    let mut plain: Vec<RunHistory> = Vec::new();
+    let mut transfer: Vec<RunHistory> = Vec::new();
+    for &seed in &profile.seeds {
+        let s = settings(profile, seed);
+        let src = SourceData::from_problem_random(source.as_ref(), profile.source_n, seed ^ 0xA5);
+        plain.push(Kato::new(s.clone()).run(target.as_ref(), Mode::Constrained));
+        transfer.push(
+            Kato::new(s)
+                .with_source(src)
+                .with_label("KATO+TL")
+                .run(target.as_ref(), Mode::Constrained),
+        );
+    }
+    // Speed-up: sims for KATO+TL to reach plain-KATO's final best.
+    let (plain_final, _) = final_stats(&plain);
+    let tl_sims = mean_sims_to_reach(&transfer, plain_final);
+    let plain_sims = mean_sims_to_reach(&plain, plain_final);
+    print_series(
+        &format!("Fig. 6({panel}): {source_key} -> {target_key}"),
+        &[("KATO", plain), ("KATO+TL", transfer)],
+        10,
+        &format!("fig6_{panel}.csv"),
+    );
+    if tl_sims > 0.0 {
+        println!("  speed-up to plain-KATO final best: {:.2}x", plain_sims / tl_sims);
+    }
+}
+
+fn tlmbo_comparison(profile: &Profile) {
+    // TLMBO handles FOM optimisation with same-design (node) transfer only.
+    let source = TwoStageOpAmp::new(TechNode::n180());
+    let target = TwoStageOpAmp::new(TechNode::n40());
+    let fom_src = FomSpec::calibrate(&source, profile.fom_samples, 2024);
+    let fom_tgt = FomSpec::calibrate(&target, profile.fom_samples, 2024);
+    let mut tlmbo_runs: Vec<RunHistory> = Vec::new();
+    let mut kato_tl_runs: Vec<RunHistory> = Vec::new();
+    for &seed in &profile.seeds {
+        let mut s = if profile.full {
+            BoSettings::paper(profile.budget, seed)
+        } else {
+            BoSettings::quick(profile.budget, seed)
+        };
+        s.n_init = profile.n_init_fom;
+        let (sx, sy) = source_fom_archive(&source, &fom_src, profile.source_n, seed ^ 0x5A);
+        tlmbo_runs.push(
+            Tlmbo::new(s.clone(), sx.clone(), sy.clone()).run(&target, Mode::Fom(fom_tgt.clone())),
+        );
+        let src = SourceData {
+            dim: source.dim(),
+            xs: sx,
+            columns: vec![sy],
+            label: source.name(),
+        };
+        kato_tl_runs.push(
+            Kato::new(s)
+                .with_source(src)
+                .with_label("KATO+TL")
+                .run(&target, Mode::Fom(fom_tgt.clone())),
+        );
+    }
+    print_series(
+        "Fig. 6 companion: TLMBO vs KATO+TL (FOM, opamp2 180nm -> 40nm)",
+        &[("TLMBO", tlmbo_runs), ("KATO+TL", kato_tl_runs)],
+        5,
+        "fig6_tlmbo.csv",
+    );
+}
+
+fn main() {
+    let profile = Profile::from_args();
+    let only: Option<String> = std::env::args()
+        .skip_while(|a| a != "--panel")
+        .nth(1);
+    println!(
+        "Fig. 6 reproduction — profile: {} ({} seeds)",
+        if profile.full { "FULL" } else { "quick" },
+        profile.seeds.len()
+    );
+    let panels: [(&str, &str, &str); 6] = [
+        ("a", "opamp2_180nm", "opamp2_40nm"),  // node transfer
+        ("b", "opamp3_180nm", "opamp3_40nm"),  // node transfer
+        ("c", "opamp3_40nm", "opamp2_40nm"),   // topology transfer
+        ("d", "opamp2_40nm", "opamp3_40nm"),   // topology transfer
+        ("e", "opamp3_180nm", "opamp2_40nm"),  // topology + node
+        ("f", "opamp2_180nm", "opamp3_40nm"),  // topology + node
+    ];
+    for (p, src, tgt) in panels {
+        if only.as_deref().is_none_or(|o| o == p) {
+            run_panel(p, src, tgt, &profile);
+        }
+    }
+    if only.is_none() {
+        tlmbo_comparison(&profile);
+    }
+    println!("\nExpected shape (paper Fig. 6): KATO+TL reaches plain KATO's final best with");
+    println!("~2-2.5x fewer simulations and ends ~1.1-1.2x better on every panel.");
+}

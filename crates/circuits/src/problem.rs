@@ -1,0 +1,326 @@
+use rand::Rng;
+use std::fmt;
+
+/// Direction of an objective metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Smaller is better (e.g. supply current, temperature coefficient).
+    Minimize,
+    /// Larger is better (e.g. gain).
+    Maximize,
+}
+
+/// What a specification demands of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecKind {
+    /// This metric is the optimisation objective.
+    Objective(Goal),
+    /// Constraint `metric ≥ bound`.
+    GreaterEq(f64),
+    /// Constraint `metric ≤ bound`.
+    LessEq(f64),
+}
+
+/// One row of a sizing specification table (paper Eq. 15–17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spec {
+    /// Index into the problem's metric vector.
+    pub metric: usize,
+    /// Requirement on that metric.
+    pub kind: SpecKind,
+}
+
+impl Spec {
+    /// Margin by which `value` satisfies this spec: positive = satisfied.
+    /// Objectives always report `0.0` (they are not constraints).
+    #[must_use]
+    pub fn margin(&self, value: f64) -> f64 {
+        match self.kind {
+            SpecKind::Objective(_) => 0.0,
+            SpecKind::GreaterEq(b) => value - b,
+            SpecKind::LessEq(b) => b - value,
+        }
+    }
+}
+
+/// One design variable: physical range plus scaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarSpec {
+    /// Human-readable name ("l1_m", "ib1_a", ...).
+    pub name: &'static str,
+    /// Lower physical bound.
+    pub lo: f64,
+    /// Upper physical bound.
+    pub hi: f64,
+    /// `true` → map the unit interval geometrically (decades), the natural
+    /// scaling for currents, resistances and capacitances.
+    pub log: bool,
+}
+
+impl VarSpec {
+    /// Linear-scaled variable.
+    #[must_use]
+    pub fn lin(name: &'static str, lo: f64, hi: f64) -> Self {
+        VarSpec {
+            name,
+            lo,
+            hi,
+            log: false,
+        }
+    }
+
+    /// Log-scaled variable (`lo` must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0` or `hi < lo`.
+    #[must_use]
+    pub fn logarithmic(name: &'static str, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi >= lo, "bad log-scaled range for {name}");
+        VarSpec {
+            name,
+            lo,
+            hi,
+            log: true,
+        }
+    }
+
+    /// Maps a unit-interval coordinate to the physical value (clamping to
+    /// `[0,1]` first, so optimizer overshoot cannot leave the space).
+    #[must_use]
+    pub fn denormalize(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        if self.log {
+            (self.lo.ln() + u * (self.hi.ln() - self.lo.ln())).exp()
+        } else {
+            self.lo + u * (self.hi - self.lo)
+        }
+    }
+
+    /// Inverse of [`VarSpec::denormalize`].
+    #[must_use]
+    pub fn normalize(&self, v: f64) -> f64 {
+        let u = if self.log {
+            (v.ln() - self.lo.ln()) / (self.hi.ln() - self.lo.ln())
+        } else {
+            (v - self.lo) / (self.hi - self.lo)
+        };
+        u.clamp(0.0, 1.0)
+    }
+}
+
+/// Metric vector produced by one circuit evaluation ("simulation").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    values: Vec<f64>,
+}
+
+impl Metrics {
+    /// Wraps a metric vector.
+    #[must_use]
+    pub fn new(values: Vec<f64>) -> Self {
+        Metrics { values }
+    }
+
+    /// Value of metric `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// All metric values in problem order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `true` when every constraint in `specs` is met.
+    #[must_use]
+    pub fn feasible(&self, specs: &[Spec]) -> bool {
+        specs
+            .iter()
+            .all(|s| s.margin(self.values[s.metric]) >= 0.0)
+    }
+
+    /// Total constraint violation (sum of negative margins, ≥ 0).
+    #[must_use]
+    pub fn violation(&self, specs: &[Spec]) -> f64 {
+        specs
+            .iter()
+            .map(|s| (-s.margin(self.values[s.metric])).max(0.0))
+            .sum()
+    }
+
+    /// The objective value signed so that **larger is always better**
+    /// (minimise-objectives are negated). Returns `None` if `specs` contains
+    /// no objective.
+    #[must_use]
+    pub fn objective(&self, specs: &[Spec]) -> Option<f64> {
+        specs.iter().find_map(|s| match s.kind {
+            SpecKind::Objective(Goal::Maximize) => Some(self.values[s.metric]),
+            SpecKind::Objective(Goal::Minimize) => Some(-self.values[s.metric]),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A transistor-sizing problem: `[0,1]^d` design space, simulator-backed
+/// metric vector, and a specification table.
+///
+/// Implementations must be deterministic: the same design vector always
+/// yields the same metrics.
+pub trait SizingProblem: Send + Sync {
+    /// Short unique name, e.g. `"opamp2_180nm"`.
+    fn name(&self) -> String;
+
+    /// Design-space dimensionality.
+    fn dim(&self) -> usize {
+        self.variables().len()
+    }
+
+    /// Per-variable physical ranges.
+    fn variables(&self) -> &[VarSpec];
+
+    /// Names of the metrics in evaluation order.
+    fn metric_names(&self) -> &[&'static str];
+
+    /// Specification table (objective + constraints), paper Eq. 15–17.
+    fn specs(&self) -> &[Spec];
+
+    /// Runs the "simulation" for a unit-cube design vector.
+    ///
+    /// Never fails: simulator breakdowns are mapped to heavily penalised
+    /// metrics (mirroring how SPICE failures are treated in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    fn evaluate(&self, x: &[f64]) -> Metrics;
+
+    /// A competent fixed reference design (the "Human Expert" rows of paper
+    /// Tables 1–2).
+    fn expert_design(&self) -> Vec<f64>;
+
+    /// Index of a metric by name.
+    fn metric_index(&self, name: &str) -> Option<usize> {
+        self.metric_names().iter().position(|m| *m == name)
+    }
+
+    /// Maps a unit design vector to named physical values (for reporting).
+    fn physical(&self, x: &[f64]) -> Vec<(String, f64)> {
+        self.variables()
+            .iter()
+            .zip(x)
+            .map(|(v, &u)| (v.name.to_string(), v.denormalize(u)))
+            .collect()
+    }
+}
+
+/// Draws a uniform random design vector in the unit cube.
+pub fn random_design<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vec<f64> {
+    (0..dim).map(|_| rng.gen::<f64>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn var_spec_roundtrip_linear_and_log() {
+        let lin = VarSpec::lin("l", 1.0, 3.0);
+        assert_eq!(lin.denormalize(0.5), 2.0);
+        assert!((lin.normalize(2.0) - 0.5).abs() < 1e-12);
+
+        let log = VarSpec::logarithmic("r", 1e3, 1e7);
+        assert!((log.denormalize(0.5) - 1e5).abs() / 1e5 < 1e-9);
+        assert!((log.normalize(1e5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn denormalize_clamps_overshoot() {
+        let v = VarSpec::lin("x", 0.0, 10.0);
+        assert_eq!(v.denormalize(-0.5), 0.0);
+        assert_eq!(v.denormalize(1.5), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad log-scaled range")]
+    fn log_var_rejects_nonpositive_lo() {
+        let _ = VarSpec::logarithmic("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    fn spec_margins() {
+        let ge = Spec {
+            metric: 0,
+            kind: SpecKind::GreaterEq(60.0),
+        };
+        assert_eq!(ge.margin(70.0), 10.0);
+        assert_eq!(ge.margin(50.0), -10.0);
+        let le = Spec {
+            metric: 0,
+            kind: SpecKind::LessEq(6.0),
+        };
+        assert_eq!(le.margin(5.0), 1.0);
+        let obj = Spec {
+            metric: 0,
+            kind: SpecKind::Objective(Goal::Minimize),
+        };
+        assert_eq!(obj.margin(123.0), 0.0);
+    }
+
+    #[test]
+    fn metrics_feasibility_and_objective() {
+        let specs = [
+            Spec {
+                metric: 0,
+                kind: SpecKind::Objective(Goal::Minimize),
+            },
+            Spec {
+                metric: 1,
+                kind: SpecKind::GreaterEq(60.0),
+            },
+            Spec {
+                metric: 2,
+                kind: SpecKind::LessEq(6.0),
+            },
+        ];
+        let good = Metrics::new(vec![100.0, 75.0, 4.0]);
+        assert!(good.feasible(&specs));
+        assert_eq!(good.violation(&specs), 0.0);
+        assert_eq!(good.objective(&specs), Some(-100.0));
+
+        let bad = Metrics::new(vec![100.0, 50.0, 8.0]);
+        assert!(!bad.feasible(&specs));
+        assert!((bad.violation(&specs) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_designs_in_unit_cube() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = random_design(5, &mut rng);
+            assert_eq!(x.len(), 5);
+            assert!(x.iter().all(|&u| (0.0..1.0).contains(&u)));
+        }
+    }
+}

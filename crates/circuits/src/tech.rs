@@ -1,0 +1,149 @@
+use kato_mna::MosModel;
+
+/// Technology-node parameter card: the PDK substitute.
+///
+/// Two cards are provided, loosely modelled on textbook long-channel 180 nm
+/// and short-channel 40 nm CMOS data. For the transfer-learning experiments
+/// the exact values matter less than the qualitative relationships the real
+/// nodes exhibit:
+///
+/// * 40 nm has a lower supply (1.1 V vs 1.8 V), lower `Vth`, higher `KP`,
+///   and drastically worse channel-length modulation (lower intrinsic gain
+///   per stage) — so optima shift but the design landscape stays correlated,
+///   which is precisely the setting KAT-GP exploits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechNode {
+    /// Short display name ("180nm", "40nm").
+    pub name: &'static str,
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+    /// Minimum channel length, m.
+    pub l_min: f64,
+    /// Maximum practical channel length for the sizing space, m.
+    pub l_max: f64,
+    /// Output load capacitance the amplifiers must drive, F.
+    pub c_load: f64,
+}
+
+impl TechNode {
+    /// The 180 nm card (VDD = 1.8 V).
+    #[must_use]
+    pub fn n180() -> Self {
+        TechNode {
+            name: "180nm",
+            vdd: 1.8,
+            nmos: MosModel {
+                kp: 170e-6,
+                vth: 0.50,
+                lambda_l: 0.02e-6,
+                n_sub: 1.35,
+                cox: 8.5e-3,
+                vth_tc: -1.0e-3,
+            },
+            pmos: MosModel {
+                kp: 60e-6,
+                vth: 0.50,
+                lambda_l: 0.04e-6,
+                n_sub: 1.40,
+                cox: 8.5e-3,
+                vth_tc: -1.2e-3,
+            },
+            l_min: 0.18e-6,
+            l_max: 2.0e-6,
+            c_load: 5e-12,
+        }
+    }
+
+    /// The 40 nm card (VDD = 1.1 V).
+    #[must_use]
+    pub fn n40() -> Self {
+        TechNode {
+            name: "40nm",
+            vdd: 1.1,
+            nmos: MosModel {
+                kp: 420e-6,
+                vth: 0.35,
+                lambda_l: 0.055e-6,
+                n_sub: 1.45,
+                cox: 17e-3,
+                vth_tc: -0.8e-3,
+            },
+            pmos: MosModel {
+                kp: 190e-6,
+                vth: 0.35,
+                lambda_l: 0.085e-6,
+                n_sub: 1.50,
+                cox: 17e-3,
+                vth_tc: -1.0e-3,
+            },
+            l_min: 0.04e-6,
+            l_max: 0.6e-6,
+            c_load: 5e-12,
+        }
+    }
+
+    /// Strong-inversion overdrive voltage for a device carrying `id` amps at
+    /// aspect ratio `w/l`: `V_ov = sqrt(2·n·Id/(KP·W/L))`.
+    #[must_use]
+    pub fn overdrive(model: &MosModel, w_over_l: f64, id: f64) -> f64 {
+        (2.0 * model.n_sub * id / (model.kp * w_over_l)).sqrt()
+    }
+
+    /// Numerically inverts the DC model: the `Vgs` at which a device of size
+    /// `(w, l)` biased at `vds` conducts `id_target`. Used to place
+    /// macromodel devices at their intended operating points.
+    #[must_use]
+    pub fn vgs_for_current(model: &MosModel, w: f64, l: f64, vds: f64, id_target: f64) -> f64 {
+        // Bisection on the monotone Id(Vgs) curve.
+        let mut lo = 0.0;
+        let mut hi = 3.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let (id, _, _) = kato_mna::mos_iv_public(model, w, l, mid, vds, 27.0);
+            if id < id_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_cards_are_distinct_and_physical() {
+        let n180 = TechNode::n180();
+        let n40 = TechNode::n40();
+        assert!(n40.vdd < n180.vdd);
+        assert!(n40.nmos.vth < n180.nmos.vth);
+        assert!(n40.nmos.kp > n180.nmos.kp);
+        assert!(n40.l_min < n180.l_min);
+        // Worse CLM per metre of length at the short node.
+        assert!(n40.nmos.lambda_l > n180.nmos.lambda_l);
+    }
+
+    #[test]
+    fn overdrive_scales_with_current() {
+        let n = TechNode::n180();
+        let v1 = TechNode::overdrive(&n.nmos, 10.0, 10e-6);
+        let v2 = TechNode::overdrive(&n.nmos, 10.0, 40e-6);
+        assert!((v2 / v1 - 2.0).abs() < 1e-9); // sqrt(4) = 2
+    }
+
+    #[test]
+    fn vgs_inversion_matches_forward_model() {
+        let n = TechNode::n180();
+        let vgs = TechNode::vgs_for_current(&n.nmos, 20e-6, 0.5e-6, 0.9, 50e-6);
+        let (id, _, _) = kato_mna::mos_iv_public(&n.nmos, 20e-6, 0.5e-6, vgs, 0.9, 27.0);
+        assert!((id - 50e-6).abs() / 50e-6 < 1e-3, "id {id:.3e}");
+        assert!(vgs > n.nmos.vth, "should be above threshold for 50 µA");
+    }
+}

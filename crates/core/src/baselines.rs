@@ -1,0 +1,629 @@
+//! Baseline optimizers reproduced for the paper's comparisons: random
+//! search, full six-objective MACE, SMAC-RF, MESMOC, USEMOC and TLMBO.
+//!
+//! MESMOC/USEMOC/TLMBO are practical re-implementations at the fidelity the
+//! comparison needs (see DESIGN.md "Substitutions" for the documented
+//! approximations).
+
+use crate::acquisition::{expected_improvement, probability_of_feasibility};
+use crate::kato_opt::{
+    acquisition_incumbent, fill_random, modelled_specs, training_view, warm_starts,
+};
+use crate::mace::{MaceProposer, MaceVariant};
+use crate::{BoSettings, MetricModels, Mode, ModelConfig, RunHistory};
+use kato_circuits::{random_design, SizingProblem};
+use kato_gp::GpConfig;
+use kato_linalg::stats;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Pure random search (the paper's RS baseline).
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    settings: BoSettings,
+}
+
+impl RandomSearch {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new(settings: BoSettings) -> Self {
+        RandomSearch { settings }
+    }
+
+    /// Runs the search.
+    #[must_use]
+    pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
+        let history = RunHistory::new(&problem.name(), "RS", self.settings.seed);
+        let mut rng = StdRng::seed_from_u64(self.settings.seed);
+        fill_random(history, problem, &mode, &self.settings, &mut rng)
+    }
+}
+
+/// Classic MACE (Lyu et al. / Zhang et al.): ARD-RBF GPs and the full
+/// six-objective acquisition ensemble.
+#[derive(Debug, Clone)]
+pub struct MaceOptimizer {
+    settings: BoSettings,
+    variant: MaceVariant,
+    label: String,
+}
+
+impl MaceOptimizer {
+    /// Creates the canonical MACE baseline (six objectives, ARD kernel).
+    #[must_use]
+    pub fn new(settings: BoSettings) -> Self {
+        MaceOptimizer {
+            settings,
+            variant: MaceVariant::Full,
+            label: "MACE".to_string(),
+        }
+    }
+
+    /// Uses the modified three-objective ensemble instead (for the §3.3
+    /// ablation).
+    #[must_use]
+    pub fn with_variant(mut self, variant: MaceVariant, label: &str) -> Self {
+        self.variant = variant;
+        self.label = label.to_string();
+        self
+    }
+
+    /// Runs the optimisation.
+    #[must_use]
+    pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
+        let s = &self.settings;
+        let dim = problem.dim();
+        let mut history = RunHistory::new(&problem.name(), &self.label, s.seed);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        for _ in 0..s.n_init.min(s.budget) {
+            history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+        }
+        let model_cfg = ModelConfig {
+            gp: s.gp.clone(),
+            neuk: false, // plain ARD kernel for the classic baseline
+            ..ModelConfig::default()
+        };
+        let specs = modelled_specs(problem, &mode);
+        let (xs, cols) = training_view(&history, &mode);
+        let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
+            return fill_random(history, problem, &mode, s, &mut rng);
+        };
+        let proposer = MaceProposer::new(self.variant);
+        let refit_cfg = ModelConfig {
+            gp: GpConfig {
+                train_iters: s.refit_iters,
+                ..s.gp.clone()
+            },
+            neuk: false,
+            ..ModelConfig::default()
+        };
+
+        let mut iteration = 0u64;
+        while history.len() < s.budget {
+            iteration += 1;
+            let incumbent = acquisition_incumbent(&history, problem, &mode);
+            let warm = warm_starts(&history, 5);
+            let front =
+                proposer.pareto_front(&models, dim, incumbent, s, iteration, &warm);
+            let mut prop_rng = StdRng::seed_from_u64(s.seed.wrapping_add(700 + iteration));
+            let batch = MaceProposer::sample_batch(
+                &front,
+                s.batch.min(s.budget - history.len()).max(1),
+                &mut prop_rng,
+            );
+            if batch.is_empty() {
+                history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+            }
+            for x in batch {
+                if history.len() >= s.budget {
+                    break;
+                }
+                history.evaluate_and_push(problem, &mode, x);
+            }
+            let (xs, cols) = training_view(&history, &mode);
+            let _ = models.update(&xs, &cols, &refit_cfg);
+        }
+        history
+    }
+}
+
+/// SMAC-style BO with a random-forest surrogate and EI·PF acquisition over
+/// a random + local-perturbation candidate pool.
+#[derive(Debug, Clone)]
+pub struct SmacRf {
+    settings: BoSettings,
+    pool: usize,
+}
+
+impl SmacRf {
+    /// Creates the baseline with a default candidate pool of 800.
+    #[must_use]
+    pub fn new(settings: BoSettings) -> Self {
+        SmacRf {
+            settings,
+            pool: 800,
+        }
+    }
+
+    /// Runs the optimisation.
+    #[must_use]
+    pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
+        let s = &self.settings;
+        let dim = problem.dim();
+        let mut history = RunHistory::new(&problem.name(), "SMAC-RF", s.seed);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        for _ in 0..s.n_init.min(s.budget) {
+            history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+        }
+        let specs = modelled_specs(problem, &mode);
+        let model_cfg = ModelConfig::default();
+
+        while history.len() < s.budget {
+            let (xs, cols) = training_view(&history, &mode);
+            let models = MetricModels::fit_forest(&xs, &cols, &specs, &model_cfg);
+            let incumbent = acquisition_incumbent(&history, problem, &mode);
+
+            // Candidate pool: random + Gaussian perturbations of the best.
+            let mut candidates: Vec<Vec<f64>> = (0..self.pool)
+                .map(|_| random_design(dim, &mut rng))
+                .collect();
+            for base in warm_starts(&history, 3) {
+                for _ in 0..40 {
+                    let jittered: Vec<f64> = base
+                        .iter()
+                        .map(|&v| (v + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0))
+                        .collect();
+                    candidates.push(jittered);
+                }
+            }
+            let mut scored: Vec<(f64, usize)> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    let (mu, var) = models.objective_posterior(x);
+                    let pf = probability_of_feasibility(&models.margin_posteriors(x));
+                    (expected_improvement(mu, var, incumbent) * pf, i)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN EI"));
+            let take = s.batch.min(s.budget - history.len()).max(1);
+            for &(_, i) in scored.iter().take(take) {
+                history.evaluate_and_push(problem, &mode, candidates[i].clone());
+            }
+        }
+        history
+    }
+}
+
+/// MESMOC-style max-value entropy search with constraints: Gumbel-sampled
+/// posterior maxima over a random grid, MES acquisition, multiplied by PF.
+#[derive(Debug, Clone)]
+pub struct Mesmoc {
+    settings: BoSettings,
+    pool: usize,
+    n_max_samples: usize,
+}
+
+impl Mesmoc {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new(settings: BoSettings) -> Self {
+        Mesmoc {
+            settings,
+            pool: 600,
+            n_max_samples: 8,
+        }
+    }
+
+    /// Runs the optimisation.
+    #[must_use]
+    pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
+        let s = &self.settings;
+        let dim = problem.dim();
+        let mut history = RunHistory::new(&problem.name(), "MESMOC", s.seed);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        for _ in 0..s.n_init.min(s.budget) {
+            history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+        }
+        let specs = modelled_specs(problem, &mode);
+        let model_cfg = ModelConfig {
+            gp: s.gp.clone(),
+            neuk: false,
+            ..ModelConfig::default()
+        };
+        let (xs, cols) = training_view(&history, &mode);
+        let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
+            return fill_random(history, problem, &mode, s, &mut rng);
+        };
+        let refit_cfg = ModelConfig {
+            gp: GpConfig {
+                train_iters: s.refit_iters,
+                ..s.gp.clone()
+            },
+            neuk: false,
+            ..ModelConfig::default()
+        };
+
+        while history.len() < s.budget {
+            // Gumbel approximation of the posterior maximum distribution.
+            let grid: Vec<Vec<f64>> = (0..200).map(|_| random_design(dim, &mut rng)).collect();
+            let post: Vec<(f64, f64)> =
+                grid.iter().map(|x| models.objective_posterior(x)).collect();
+            let mean_best = post
+                .iter()
+                .map(|&(m, v)| m + 2.0 * v.sqrt())
+                .fold(f64::NEG_INFINITY, f64::max);
+            let spread = stats::std_dev(&post.iter().map(|&(m, _)| m).collect::<Vec<_>>())
+                .max(1e-6);
+            let maxima: Vec<f64> = (0..self.n_max_samples)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(1e-6..1.0 - 1e-6);
+                    mean_best - spread * (-(u.ln())).ln().min(3.0) * 0.5
+                })
+                .collect();
+
+            let candidates: Vec<Vec<f64>> =
+                (0..self.pool).map(|_| random_design(dim, &mut rng)).collect();
+            let mut scored: Vec<(f64, usize)> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    let (mu, var) = models.objective_posterior(x);
+                    let sigma = var.max(1e-18).sqrt();
+                    let mut mes = 0.0;
+                    for &y_star in &maxima {
+                        let gamma = (y_star - mu) / sigma;
+                        let phi = stats::norm_pdf(gamma);
+                        let cap = stats::norm_cdf(gamma).max(1e-12);
+                        mes += gamma * phi / (2.0 * cap) - cap.ln();
+                    }
+                    let pf = probability_of_feasibility(&models.margin_posteriors(x));
+                    (mes * pf, i)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN MES"));
+            let take = s.batch.min(s.budget - history.len()).max(1);
+            for &(_, i) in scored.iter().take(take) {
+                history.evaluate_and_push(problem, &mode, candidates[i].clone());
+            }
+            let (xs, cols) = training_view(&history, &mode);
+            let _ = models.update(&xs, &cols, &refit_cfg);
+        }
+        history
+    }
+}
+
+/// USEMOC-style uncertainty-aware search: among candidates predicted
+/// feasible, pick maximum posterior uncertainty (σ·PF as the general score).
+#[derive(Debug, Clone)]
+pub struct Usemoc {
+    settings: BoSettings,
+    pool: usize,
+}
+
+impl Usemoc {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new(settings: BoSettings) -> Self {
+        Usemoc {
+            settings,
+            pool: 600,
+        }
+    }
+
+    /// Runs the optimisation.
+    #[must_use]
+    pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
+        let s = &self.settings;
+        let dim = problem.dim();
+        let mut history = RunHistory::new(&problem.name(), "USEMOC", s.seed);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        for _ in 0..s.n_init.min(s.budget) {
+            history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+        }
+        let specs = modelled_specs(problem, &mode);
+        let model_cfg = ModelConfig {
+            gp: s.gp.clone(),
+            neuk: false,
+            ..ModelConfig::default()
+        };
+        let (xs, cols) = training_view(&history, &mode);
+        let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
+            return fill_random(history, problem, &mode, s, &mut rng);
+        };
+        let refit_cfg = ModelConfig {
+            gp: GpConfig {
+                train_iters: s.refit_iters,
+                ..s.gp.clone()
+            },
+            neuk: false,
+            ..ModelConfig::default()
+        };
+
+        while history.len() < s.budget {
+            let incumbent = acquisition_incumbent(&history, problem, &mode);
+            let candidates: Vec<Vec<f64>> =
+                (0..self.pool).map(|_| random_design(dim, &mut rng)).collect();
+            let mut scored: Vec<(f64, usize)> = candidates
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    let (mu, var) = models.objective_posterior(x);
+                    let pf = probability_of_feasibility(&models.margin_posteriors(x));
+                    let sigma = var.max(0.0).sqrt();
+                    // Uncertainty-driven, feasibility-weighted, with a mild
+                    // exploitation tie-break.
+                    (sigma * pf + 0.05 * (mu - incumbent).max(0.0), i)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+            let take = s.batch.min(s.budget - history.len()).max(1);
+            for &(_, i) in scored.iter().take(take) {
+                history.evaluate_and_push(problem, &mode, candidates[i].clone());
+            }
+            let (xs, cols) = training_view(&history, &mode);
+            let _ = models.update(&xs, &cols, &refit_cfg);
+        }
+        history
+    }
+}
+
+/// TLMBO-style transfer BO (Zhang et al., DAC 2022): Gaussian-copula
+/// quantile alignment of the source outputs into the target output
+/// distribution, appended as pseudo-observations. Only defined for
+/// same-design (technology-node) transfer and FOM optimisation, as in the
+/// paper.
+#[derive(Debug, Clone)]
+pub struct Tlmbo {
+    settings: BoSettings,
+    source_xs: Vec<Vec<f64>>,
+    source_ys: Vec<f64>,
+    max_source: usize,
+}
+
+impl Tlmbo {
+    /// Creates the baseline from a source archive of `(x, fom)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source archive is empty.
+    #[must_use]
+    pub fn new(settings: BoSettings, source_xs: Vec<Vec<f64>>, source_ys: Vec<f64>) -> Self {
+        assert!(!source_xs.is_empty(), "TLMBO needs source data");
+        Tlmbo {
+            settings,
+            source_xs,
+            source_ys,
+            max_source: 60,
+        }
+    }
+
+    /// Copula-transforms the source outputs into the target distribution:
+    /// `y' = Q_target(F_source(y))` via empirical CDF + target quantiles.
+    fn transform_source(&self, target_ys: &[f64]) -> Vec<f64> {
+        self.source_ys
+            .iter()
+            .map(|&y| {
+                let p = stats::ecdf(&self.source_ys, y);
+                stats::quantile(target_ys, p)
+            })
+            .collect()
+    }
+
+    /// Runs the optimisation (FOM mode expected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source dimensionality differs from the problem's.
+    #[must_use]
+    pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
+        let s = &self.settings;
+        let dim = problem.dim();
+        assert_eq!(
+            self.source_xs[0].len(),
+            dim,
+            "TLMBO requires the same design space (node transfer)"
+        );
+        let mut history = RunHistory::new(&problem.name(), "TLMBO", s.seed);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+        for _ in 0..s.n_init.min(s.budget) {
+            history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+        }
+        let proposer = MaceProposer::new(MaceVariant::Modified);
+
+        while history.len() < s.budget {
+            let (mut xs, cols) = training_view(&history, &mode);
+            let mut ys = cols[0].clone();
+            // Append copula-aligned source pseudo-observations.
+            let aligned = self.transform_source(&ys);
+            for (x, y) in self
+                .source_xs
+                .iter()
+                .zip(&aligned)
+                .take(self.max_source)
+            {
+                xs.push(x.clone());
+                ys.push(*y);
+            }
+            let model_cfg = ModelConfig {
+                gp: GpConfig {
+                    train_iters: s.refit_iters.max(10),
+                    ..s.gp.clone()
+                },
+                neuk: false,
+                ..ModelConfig::default()
+            };
+            let Ok(models) = MetricModels::fit_gp(
+                dim,
+                &xs,
+                &[ys],
+                &crate::model::fom_specs(),
+                &model_cfg,
+            ) else {
+                return fill_random(history, problem, &mode, s, &mut rng);
+            };
+            let incumbent = acquisition_incumbent(&history, problem, &mode);
+            let warm = warm_starts(&history, 5);
+            let front = proposer.pareto_front(
+                &models,
+                dim,
+                incumbent,
+                s,
+                history.len() as u64,
+                &warm,
+            );
+            let mut prop_rng =
+                StdRng::seed_from_u64(s.seed.wrapping_add(500 + history.len() as u64));
+            let batch = MaceProposer::sample_batch(
+                &front,
+                s.batch.min(s.budget - history.len()).max(1),
+                &mut prop_rng,
+            );
+            if batch.is_empty() {
+                history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+                continue;
+            }
+            for x in batch {
+                if history.len() >= s.budget {
+                    break;
+                }
+                history.evaluate_and_push(problem, &mode, x);
+            }
+        }
+        history
+    }
+}
+
+/// Fits a FOM-mode GP on a source problem and returns `(xs, fom)` pairs —
+/// helper for building TLMBO inputs.
+#[must_use]
+pub fn source_fom_archive(
+    problem: &dyn SizingProblem,
+    fom: &kato_circuits::FomSpec,
+    n: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = random_design(problem.dim(), &mut rng);
+        ys.push(fom.fom(&problem.evaluate(&x)));
+        xs.push(x);
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kato_circuits::{FomSpec, Goal, Metrics, Spec, SpecKind, VarSpec};
+
+    struct Toy {
+        vars: Vec<VarSpec>,
+        specs: Vec<Spec>,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Toy {
+                vars: vec![VarSpec::lin("a", 0.0, 1.0), VarSpec::lin("b", 0.0, 1.0)],
+                specs: vec![
+                    Spec {
+                        metric: 0,
+                        kind: SpecKind::Objective(Goal::Maximize),
+                    },
+                    Spec {
+                        metric: 1,
+                        kind: SpecKind::GreaterEq(0.4),
+                    },
+                ],
+            }
+        }
+    }
+
+    impl SizingProblem for Toy {
+        fn name(&self) -> String {
+            "toy_b".into()
+        }
+        fn variables(&self) -> &[VarSpec] {
+            &self.vars
+        }
+        fn metric_names(&self) -> &[&'static str] {
+            &["obj", "con"]
+        }
+        fn specs(&self) -> &[Spec] {
+            &self.specs
+        }
+        fn evaluate(&self, x: &[f64]) -> Metrics {
+            let obj = 1.0 - (x[0] - 0.7).powi(2) - (x[1] - 0.3).powi(2);
+            Metrics::new(vec![obj, x[0]])
+        }
+        fn expert_design(&self) -> Vec<f64> {
+            vec![0.7, 0.3]
+        }
+    }
+
+    #[test]
+    fn random_search_fills_budget() {
+        let toy = Toy::new();
+        let h = RandomSearch::new(BoSettings::quick(20, 1)).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 20);
+        assert_eq!(h.method, "RS");
+    }
+
+    #[test]
+    fn mace_full_runs_and_improves() {
+        let toy = Toy::new();
+        let h = MaceOptimizer::new(BoSettings::quick(30, 2)).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 30);
+        let c = h.best_curve();
+        assert!(c[29] >= c[9]);
+    }
+
+    #[test]
+    fn smac_rf_runs() {
+        let toy = Toy::new();
+        let h = SmacRf::new(BoSettings::quick(25, 3)).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 25);
+        assert!(h.best().is_some());
+    }
+
+    #[test]
+    fn mesmoc_runs() {
+        let toy = Toy::new();
+        let h = Mesmoc::new(BoSettings::quick(20, 4)).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 20);
+    }
+
+    #[test]
+    fn usemoc_runs() {
+        let toy = Toy::new();
+        let h = Usemoc::new(BoSettings::quick(20, 5)).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 20);
+    }
+
+    #[test]
+    fn tlmbo_runs_with_copula_source() {
+        let toy = Toy::new();
+        let fom = FomSpec::calibrate(&toy, 64, 7);
+        let (sx, sy) = source_fom_archive(&toy, &fom, 40, 11);
+        let h = Tlmbo::new(BoSettings::quick(22, 6), sx, sy).run(&toy, Mode::Fom(fom));
+        assert_eq!(h.len(), 22);
+        assert_eq!(h.method, "TLMBO");
+    }
+
+    #[test]
+    fn copula_transform_maps_into_target_range() {
+        let toy = Toy::new();
+        let fom = FomSpec::calibrate(&toy, 64, 7);
+        let (sx, sy) = source_fom_archive(&toy, &fom, 30, 13);
+        let t = Tlmbo::new(BoSettings::quick(20, 6), sx, sy);
+        let target_ys = vec![-2.0, -1.0, 0.0, 1.0, 2.0];
+        let mapped = t.transform_source(&target_ys);
+        for v in mapped {
+            assert!((-2.0..=2.0).contains(&v), "mapped {v} outside target range");
+        }
+    }
+}

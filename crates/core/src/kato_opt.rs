@@ -1,0 +1,440 @@
+use crate::mace::{MaceProposer, MaceVariant};
+use crate::model::{fit_source_gps, fom_specs, metric_columns};
+use crate::{BoSettings, MetricModels, Mode, ModelConfig, RunHistory, StlWeights};
+use kato_circuits::{random_design, FomSpec, Metrics, SizingProblem, Spec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Frozen source-circuit archive used for knowledge transfer: design
+/// vectors plus one output column per modelled quantity (raw metrics in
+/// constrained mode, FOM values in FOM mode).
+#[derive(Debug, Clone)]
+pub struct SourceData {
+    /// Source design-space dimensionality.
+    pub dim: usize,
+    /// Source designs (unit cube of the *source* problem).
+    pub xs: Vec<Vec<f64>>,
+    /// Output columns, aligned by index with the target's modelled columns.
+    pub columns: Vec<Vec<f64>>,
+    /// Human-readable origin, e.g. `opamp2_180nm`.
+    pub label: String,
+}
+
+impl SourceData {
+    /// Samples `n` random designs on a source problem and records its raw
+    /// metrics (constrained-mode transfer; paper §4.3 uses 200 samples).
+    #[must_use]
+    pub fn from_problem_random(problem: &dyn SizingProblem, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut metrics: Vec<Metrics> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = random_design(problem.dim(), &mut rng);
+            metrics.push(problem.evaluate(&x));
+            xs.push(x);
+        }
+        let refs: Vec<&Metrics> = metrics.iter().collect();
+        SourceData {
+            dim: problem.dim(),
+            xs,
+            columns: metric_columns(&refs),
+            label: problem.name(),
+        }
+    }
+
+    /// Like [`SourceData::from_problem_random`] but records the source FOM
+    /// (single column) for FOM-mode transfer.
+    #[must_use]
+    pub fn from_problem_random_fom(
+        problem: &dyn SizingProblem,
+        fom: &FomSpec,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = random_design(problem.dim(), &mut rng);
+            values.push(fom.fom(&problem.evaluate(&x)));
+            xs.push(x);
+        }
+        SourceData {
+            dim: problem.dim(),
+            xs,
+            columns: vec![values],
+            label: problem.name(),
+        }
+    }
+}
+
+/// The KATO optimizer (paper Algorithm 1).
+///
+/// Runs modified constrained MACE over a target-only NeukGP and — when a
+/// [`SourceData`] is attached — a KAT-GP aligned from the source circuit,
+/// splitting each batch between the two proposal sets with Selective
+/// Transfer Learning weights (Eq. 14).
+///
+/// Without a source this degrades gracefully to "KATO w/o transfer": NeukGP
+/// + modified MACE, the configuration used in the paper's Figs. 4–5.
+#[derive(Debug, Clone)]
+pub struct Kato {
+    settings: BoSettings,
+    source: Option<SourceData>,
+    label: String,
+    stl: bool,
+}
+
+impl Kato {
+    /// Creates a KATO optimizer without transfer.
+    #[must_use]
+    pub fn new(settings: BoSettings) -> Self {
+        Kato {
+            settings,
+            source: None,
+            label: "KATO".to_string(),
+            stl: true,
+        }
+    }
+
+    /// Attaches a source archive, enabling KAT-GP + STL.
+    #[must_use]
+    pub fn with_source(mut self, source: SourceData) -> Self {
+        self.label = format!("KATO+TL[{}]", source.label);
+        self.source = Some(source);
+        self
+    }
+
+    /// Disables Selective Transfer Learning: with a source attached, every
+    /// proposal comes from the KAT-GP ("forced transfer" — the §3.4 ablation
+    /// showing why STL matters).
+    #[must_use]
+    pub fn with_forced_transfer(mut self) -> Self {
+        self.stl = false;
+        self
+    }
+
+    /// Overrides the method label used in run histories.
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// Runs the optimisation and returns the full trace.
+    #[must_use]
+    pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
+        let s = &self.settings;
+        let dim = problem.dim();
+        let mut history = RunHistory::new(&problem.name(), &self.label, s.seed);
+        let mut rng = StdRng::seed_from_u64(s.seed);
+
+        for _ in 0..s.n_init.min(s.budget) {
+            history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+        }
+        if history.len() >= s.budget {
+            return history;
+        }
+
+        let model_cfg = ModelConfig {
+            gp: s.gp.clone(),
+            kat: s.kat.clone(),
+            neuk: true,
+            ..ModelConfig::default()
+        };
+        let specs = modelled_specs(problem, &mode);
+        let (xs, cols) = training_view(&history, &mode);
+        let Ok(mut neuk_models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg)
+        else {
+            return fill_random(history, problem, &mode, s, &mut rng);
+        };
+
+        // Optional transfer stack.
+        let mut kat_models = self.source.as_ref().and_then(|src| {
+            let gps = fit_source_gps(src.dim, &src.xs, &src.columns, &model_cfg).ok()?;
+            MetricModels::fit_kat(dim, &gps, &xs, &cols, &specs, &model_cfg).ok()
+        });
+        let n_proposers = 1 + usize::from(kat_models.is_some());
+        let mut weights = StlWeights::new(n_proposers, s.n_init.max(1) as f64);
+
+        let proposer = MaceProposer::new(MaceVariant::Modified);
+        let refit_cfg = ModelConfig {
+            gp: kato_gp::GpConfig {
+                train_iters: s.refit_iters,
+                ..s.gp.clone()
+            },
+            kat: kato_gp::KatConfig {
+                train_iters: s.refit_iters,
+                ..s.kat.clone()
+            },
+            neuk: true,
+            ..ModelConfig::default()
+        };
+
+        let mut iteration: u64 = 0;
+        while history.len() < s.budget {
+            iteration += 1;
+            let incumbent = acquisition_incumbent(&history, problem, &mode);
+            let warm = warm_starts(&history, 5);
+
+            // Proposal sets P1 (NeukGP) and P2 (KAT-GP), Algorithm 1 line 5.
+            let n_take = s.batch.min(s.budget - history.len()).max(1);
+            let counts = if self.stl || n_proposers == 1 {
+                weights.split_batch(n_take)
+            } else {
+                // Forced transfer: the whole batch from the KAT-GP.
+                vec![0, n_take]
+            };
+            let mut batches: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_proposers);
+            for (i, &count) in counts.iter().enumerate() {
+                let models: &MetricModels = if i == 0 {
+                    &neuk_models
+                } else {
+                    kat_models.as_ref().expect("kat models present")
+                };
+                let front = proposer.pareto_front(
+                    models,
+                    dim,
+                    incumbent,
+                    s,
+                    iteration * 7 + i as u64,
+                    &warm,
+                );
+                let mut prop_rng =
+                    StdRng::seed_from_u64(s.seed.wrapping_add(900 + iteration * 3 + i as u64));
+                batches.push(MaceProposer::sample_batch(&front, count, &mut prop_rng));
+            }
+
+            // Simulate and update STL weights (Eq. 14).
+            let incumbent_before = history.incumbent();
+            for (i, batch) in batches.iter().enumerate() {
+                let mut improvements = 0;
+                for x in batch {
+                    if history.len() >= s.budget {
+                        break;
+                    }
+                    let score = history.evaluate_and_push(problem, &mode, x.clone());
+                    if score > incumbent_before && score > f64::NEG_INFINITY {
+                        improvements += 1;
+                    }
+                }
+                weights.reward(i, improvements);
+            }
+
+            // Refit surrogates on the grown archive.
+            let (xs, cols) = training_view(&history, &mode);
+            let _ = neuk_models.update(&xs, &cols, &refit_cfg);
+            if let Some(kat) = kat_models.as_mut() {
+                let _ = kat.update(&xs, &cols, &refit_cfg);
+            }
+        }
+        history
+    }
+}
+
+/// The spec table the surrogates serve under a given mode.
+pub(crate) fn modelled_specs(problem: &dyn SizingProblem, mode: &Mode) -> Vec<Spec> {
+    match mode {
+        Mode::Fom(_) => fom_specs(),
+        Mode::Constrained => problem.specs().to_vec(),
+    }
+}
+
+/// Training data view under a mode: raw metric columns (constrained) or the
+/// single FOM column.
+pub(crate) fn training_view(history: &RunHistory, mode: &Mode) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let xs: Vec<Vec<f64>> = history.evals.iter().map(|e| e.x.clone()).collect();
+    let cols = match mode {
+        Mode::Fom(fom) => {
+            vec![history.evals.iter().map(|e| fom.fom(&e.metrics)).collect()]
+        }
+        Mode::Constrained => {
+            let refs: Vec<&Metrics> = history.evals.iter().map(|e| &e.metrics).collect();
+            metric_columns(&refs)
+        }
+    };
+    (xs, cols)
+}
+
+/// Incumbent handed to EI/PI: the best score, or — before anything is
+/// feasible in constrained mode — the best *soft* score
+/// `objective − 10·violation`, so acquisitions stay informative.
+pub(crate) fn acquisition_incumbent(
+    history: &RunHistory,
+    problem: &dyn SizingProblem,
+    mode: &Mode,
+) -> f64 {
+    let inc = history.incumbent();
+    if inc > f64::NEG_INFINITY {
+        return inc;
+    }
+    match mode {
+        Mode::Fom(_) => inc,
+        Mode::Constrained => history
+            .evals
+            .iter()
+            .map(|e| {
+                e.metrics.objective(problem.specs()).unwrap_or(0.0)
+                    - 10.0 * e.metrics.violation(problem.specs())
+            })
+            .fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Top-`k` designs by score (soft score when nothing is feasible), used to
+/// warm-start the NSGA-II population.
+pub(crate) fn warm_starts(history: &RunHistory, k: usize) -> Vec<Vec<f64>> {
+    let mut scored: Vec<(f64, &Vec<f64>)> = history
+        .evals
+        .iter()
+        .map(|e| {
+            let s = if e.score > f64::NEG_INFINITY {
+                e.score
+            } else {
+                -1e6
+            };
+            (s, &e.x)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    scored.iter().take(k).map(|(_, x)| (*x).clone()).collect()
+}
+
+/// Fallback when surrogate fitting fails outright: spend the remaining
+/// budget on random search rather than aborting the run.
+pub(crate) fn fill_random(
+    mut history: RunHistory,
+    problem: &dyn SizingProblem,
+    mode: &Mode,
+    settings: &BoSettings,
+    rng: &mut StdRng,
+) -> RunHistory {
+    while history.len() < settings.budget {
+        history.evaluate_and_push(problem, mode, random_design(problem.dim(), rng));
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kato_circuits::{Goal, SpecKind, VarSpec};
+
+    /// 2-D constrained toy: maximise `1−(x0−0.7)²−(x1−0.3)²` s.t. `x0 ≥ 0.4`.
+    struct Toy {
+        vars: Vec<VarSpec>,
+        specs: Vec<Spec>,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Toy {
+                vars: vec![VarSpec::lin("a", 0.0, 1.0), VarSpec::lin("b", 0.0, 1.0)],
+                specs: vec![
+                    Spec {
+                        metric: 0,
+                        kind: SpecKind::Objective(Goal::Maximize),
+                    },
+                    Spec {
+                        metric: 1,
+                        kind: SpecKind::GreaterEq(0.4),
+                    },
+                ],
+            }
+        }
+    }
+
+    impl SizingProblem for Toy {
+        fn name(&self) -> String {
+            "toy_quad".into()
+        }
+        fn variables(&self) -> &[VarSpec] {
+            &self.vars
+        }
+        fn metric_names(&self) -> &[&'static str] {
+            &["obj", "con"]
+        }
+        fn specs(&self) -> &[Spec] {
+            &self.specs
+        }
+        fn evaluate(&self, x: &[f64]) -> Metrics {
+            let obj = 1.0 - (x[0] - 0.7).powi(2) - (x[1] - 0.3).powi(2);
+            Metrics::new(vec![obj, x[0]])
+        }
+        fn expert_design(&self) -> Vec<f64> {
+            vec![0.7, 0.3]
+        }
+    }
+
+    #[test]
+    fn kato_beats_its_own_random_init() {
+        let toy = Toy::new();
+        let settings = BoSettings::quick(35, 11);
+        let h = Kato::new(settings).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 35);
+        let curve = h.best_curve();
+        let after_init = curve[9];
+        let end = curve[34];
+        assert!(
+            end > after_init,
+            "BO must improve over init: {after_init} vs {end}"
+        );
+        assert!(end > 0.9, "should approach the optimum, got {end}");
+    }
+
+    #[test]
+    fn kato_with_source_runs_and_improves() {
+        let toy = Toy::new();
+        let source = SourceData::from_problem_random(&toy, 40, 5);
+        let settings = BoSettings::quick(30, 3);
+        let h = Kato::new(settings).with_source(source).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 30);
+        assert!(h.method.contains("KATO+TL"));
+        assert!(h.best().is_some());
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let toy = Toy::new();
+        let h = Kato::new(BoSettings::quick(17, 2)).run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 17);
+    }
+
+    #[test]
+    fn fom_mode_runs() {
+        use kato_circuits::FomSpec;
+        let toy = Toy::new();
+        let fom = FomSpec::calibrate(&toy, 64, 1);
+        let h = Kato::new(BoSettings::quick(25, 4)).run(&toy, Mode::Fom(fom));
+        assert_eq!(h.len(), 25);
+        // FOM scores are always finite → best exists from the start.
+        assert!(h.best().is_some());
+        let c = h.best_curve();
+        assert!(c[24] >= c[9]);
+    }
+
+    #[test]
+    fn incumbent_fallback_when_nothing_feasible() {
+        let toy = Toy::new();
+        let mut h = RunHistory::new("t", "m", 0);
+        // Only infeasible points (x0 < 0.4).
+        h.evaluate_and_push(&toy, &Mode::Constrained, vec![0.1, 0.5]);
+        h.evaluate_and_push(&toy, &Mode::Constrained, vec![0.3, 0.5]);
+        let inc = acquisition_incumbent(&h, &toy, &Mode::Constrained);
+        assert!(inc.is_finite());
+        // Closer to feasibility (0.3) has smaller violation → higher soft score.
+        let soft_03 = toy.evaluate(&[0.3, 0.5]).objective(toy.specs()).unwrap()
+            - 10.0 * toy.evaluate(&[0.3, 0.5]).violation(toy.specs());
+        assert!((inc - soft_03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_data_shapes() {
+        let toy = Toy::new();
+        let s = SourceData::from_problem_random(&toy, 25, 9);
+        assert_eq!(s.xs.len(), 25);
+        assert_eq!(s.columns.len(), 2);
+        assert_eq!(s.columns[0].len(), 25);
+        assert_eq!(s.dim, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! KATO — Knowledge Alignment and Transfer Optimization for transistor
+//! sizing (DAC 2024 reproduction).
+//!
+//! This crate assembles the paper's algorithm from the workspace substrates:
+//!
+//! * **Acquisition functions** (paper §2.3, Eq. 5–7): [`acquisition`]
+//!   provides EI, PI, UCB and the probability of feasibility PF.
+//! * **Modified constrained MACE** (paper §3.3, Eq. 13): [`mace`] searches
+//!   the Pareto front of `{UCB, PI, EI}·PF` with NSGA-II — three objectives
+//!   instead of MACE's six.
+//! * **KATO with Selective Transfer Learning** (paper §3.4, Algorithm 1):
+//!   [`Kato`] runs a target-only Neuk-GP and (optionally) a KAT-GP
+//!   transferred from a source circuit, splits each batch between their
+//!   proposal sets according to bandit weights, and updates the weights by
+//!   the number of improvements each model produced (Eq. 14).
+//! * **Baselines** for every figure of the paper: random search, full
+//!   six-objective MACE, SMAC-RF, MESMOC, USEMOC and TLMBO
+//!   ([`baselines`]).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use kato::{BoSettings, Kato, Mode};
+//! use kato_circuits::{SizingProblem, TechNode, TwoStageOpAmp};
+//!
+//! let problem = TwoStageOpAmp::new(TechNode::n180());
+//! let settings = BoSettings::quick(40, 7);
+//! let history = Kato::new(settings).run(&problem, Mode::Constrained);
+//! if let Some(best) = history.best() {
+//!     println!("best I_total: {:.1} µA", best.metrics.get(0));
+//! }
+//! ```
+
+pub mod acquisition;
+pub mod baselines;
+mod history;
+mod kato_opt;
+pub mod mace;
+mod model;
+pub mod sampling;
+mod settings;
+pub mod stl;
+
+pub use history::{EvalRecord, RunHistory};
+pub use kato_opt::{Kato, SourceData};
+pub use mace::{MaceProposer, MaceVariant};
+pub use model::{fit_source_gps, fom_specs, metric_columns, MetricModels, Model, ModelConfig};
+pub use settings::{BoSettings, Mode};
+pub use stl::StlWeights;

@@ -1,0 +1,402 @@
+use kato_circuits::{Goal, Metrics, Spec, SpecKind};
+use kato_forest::{ForestConfig, RandomForest};
+use kato_gp::{Gp, GpConfig, GpError, KatConfig, KatGp, KernelSpec};
+
+/// Configuration bundle for (re)fitting the per-output surrogates.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// GP fit configuration.
+    pub gp: GpConfig,
+    /// KAT-GP fit configuration.
+    pub kat: KatConfig,
+    /// Random-forest configuration (SMAC baseline).
+    pub forest: ForestConfig,
+    /// Use the Neural Kernel (`true`, KATO's NeukGP) or ARD-RBF (`false`,
+    /// plain-GP baselines).
+    pub neuk: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            gp: GpConfig::default(),
+            kat: KatConfig::default(),
+            forest: ForestConfig::default(),
+            neuk: true,
+        }
+    }
+}
+
+/// One scalar surrogate: Neuk/ARD GP, transferred KAT-GP, or random forest.
+#[derive(Debug, Clone)]
+pub enum Model {
+    /// Target-only Gaussian process.
+    Gp(Box<Gp>),
+    /// Knowledge-aligned transfer GP.
+    Kat(Box<KatGp>),
+    /// Random forest (SMAC surrogate).
+    Forest(Box<RandomForest>),
+}
+
+impl Model {
+    /// Posterior mean and variance at `x`.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        match self {
+            Model::Gp(gp) => gp.predict(x),
+            Model::Kat(kat) => kat.predict(x),
+            Model::Forest(f) => f.predict(x),
+        }
+    }
+
+    /// Refits on an updated dataset (warm-started where supported).
+    ///
+    /// # Errors
+    ///
+    /// Propagates surrogate fitting failures.
+    pub fn update(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        config: &ModelConfig,
+    ) -> Result<(), GpError> {
+        match self {
+            Model::Gp(gp) => gp.refit(xs, ys, &config.gp),
+            Model::Kat(kat) => kat.refit(xs, ys, &config.kat),
+            Model::Forest(f) => {
+                **f = RandomForest::fit(xs, ys, &config.forest);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Extracts per-metric output columns from an archive of metric vectors.
+#[must_use]
+pub fn metric_columns(metrics: &[&Metrics]) -> Vec<Vec<f64>> {
+    let n_outputs = metrics.first().map_or(0, |m| m.values().len());
+    (0..n_outputs)
+        .map(|j| metrics.iter().map(|m| m.get(j)).collect())
+        .collect()
+}
+
+/// Per-output surrogate stack plus the spec table needed to turn output
+/// posteriors into objective/constraint posteriors.
+///
+/// Every optimizer in this crate models raw output columns (one surrogate
+/// per column) and derives the signed objective and constraint margins at
+/// acquisition time, so the same models serve EI/PI/UCB and PF. In FOM mode
+/// there is a single column (the FOM value) and a single maximise spec.
+#[derive(Debug, Clone)]
+pub struct MetricModels {
+    models: Vec<Model>,
+    specs: Vec<Spec>,
+}
+
+impl MetricModels {
+    /// Fits target-only GPs (Neuk or ARD per `config.neuk`) for every
+    /// column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GP fitting failures.
+    pub fn fit_gp(
+        dim: usize,
+        xs: &[Vec<f64>],
+        columns: &[Vec<f64>],
+        specs: &[Spec],
+        config: &ModelConfig,
+    ) -> Result<MetricModels, GpError> {
+        let mut models = Vec::with_capacity(columns.len());
+        for (j, ys) in columns.iter().enumerate() {
+            let kernel = if config.neuk {
+                KernelSpec::neuk(dim)
+            } else {
+                KernelSpec::ard_rbf(dim)
+            };
+            let mut cfg = config.gp.clone();
+            cfg.seed = cfg.seed.wrapping_add(j as u64);
+            models.push(Model::Gp(Box::new(Gp::fit(kernel, xs, ys, &cfg)?)));
+        }
+        Ok(MetricModels {
+            models,
+            specs: specs.to_vec(),
+        })
+    }
+
+    /// Fits random forests for every column (SMAC baseline).
+    #[must_use]
+    pub fn fit_forest(
+        xs: &[Vec<f64>],
+        columns: &[Vec<f64>],
+        specs: &[Spec],
+        config: &ModelConfig,
+    ) -> MetricModels {
+        let mut models = Vec::with_capacity(columns.len());
+        for (j, ys) in columns.iter().enumerate() {
+            let mut cfg = config.forest.clone();
+            cfg.seed = cfg.seed.wrapping_add(j as u64);
+            models.push(Model::Forest(Box::new(RandomForest::fit(xs, ys, &cfg))));
+        }
+        MetricModels {
+            models,
+            specs: specs.to_vec(),
+        }
+    }
+
+    /// Fits KAT-GPs transferred from per-column source GPs. Columns are
+    /// aligned by index; target columns beyond the source's count fall back
+    /// to target-only Neuk GPs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures.
+    pub fn fit_kat(
+        dim: usize,
+        source: &[Gp],
+        xs: &[Vec<f64>],
+        columns: &[Vec<f64>],
+        specs: &[Spec],
+        config: &ModelConfig,
+    ) -> Result<MetricModels, GpError> {
+        let mut models = Vec::with_capacity(columns.len());
+        for (j, ys) in columns.iter().enumerate() {
+            if let Some(src) = source.get(j) {
+                let mut cfg = config.kat.clone();
+                cfg.seed = cfg.seed.wrapping_add(j as u64);
+                models.push(Model::Kat(Box::new(KatGp::fit(src, xs, ys, &cfg)?)));
+            } else {
+                let mut cfg = config.gp.clone();
+                cfg.seed = cfg.seed.wrapping_add(j as u64);
+                models.push(Model::Gp(Box::new(Gp::fit(
+                    KernelSpec::neuk(dim),
+                    xs,
+                    ys,
+                    &cfg,
+                )?)));
+            }
+        }
+        Ok(MetricModels {
+            models,
+            specs: specs.to_vec(),
+        })
+    }
+
+    /// Refits every surrogate on the updated dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting failures.
+    pub fn update(
+        &mut self,
+        xs: &[Vec<f64>],
+        columns: &[Vec<f64>],
+        config: &ModelConfig,
+    ) -> Result<(), GpError> {
+        for (model, ys) in self.models.iter_mut().zip(columns) {
+            model.update(xs, ys, config)?;
+        }
+        Ok(())
+    }
+
+    /// Posterior of the signed objective (larger = better) at `x`.
+    #[must_use]
+    pub fn objective_posterior(&self, x: &[f64]) -> (f64, f64) {
+        for spec in &self.specs {
+            if let SpecKind::Objective(goal) = spec.kind {
+                let (m, v) = self.models[spec.metric].predict(x);
+                return match goal {
+                    Goal::Maximize => (m, v),
+                    Goal::Minimize => (-m, v),
+                };
+            }
+        }
+        (0.0, 1.0)
+    }
+
+    /// Posteriors of every constraint margin (non-negative = satisfied).
+    #[must_use]
+    pub fn margin_posteriors(&self, x: &[f64]) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for spec in &self.specs {
+            match spec.kind {
+                SpecKind::GreaterEq(b) => {
+                    let (m, v) = self.models[spec.metric].predict(x);
+                    out.push((m - b, v));
+                }
+                SpecKind::LessEq(b) => {
+                    let (m, v) = self.models[spec.metric].predict(x);
+                    out.push((b - m, v));
+                }
+                SpecKind::Objective(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Access to the per-column models.
+    #[must_use]
+    pub fn models(&self) -> &[Model] {
+        &self.models
+    }
+
+    /// The spec table these models serve.
+    #[must_use]
+    pub fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+}
+
+/// The spec table used in FOM mode: a single maximised column.
+#[must_use]
+pub fn fom_specs() -> Vec<Spec> {
+    vec![Spec {
+        metric: 0,
+        kind: SpecKind::Objective(Goal::Maximize),
+    }]
+}
+
+/// Fits one target-only Neuk GP per output column of a *source* archive —
+/// the frozen knowledge bank handed to [`MetricModels::fit_kat`].
+///
+/// # Errors
+///
+/// Propagates GP fitting failures.
+pub fn fit_source_gps(
+    dim: usize,
+    xs: &[Vec<f64>],
+    columns: &[Vec<f64>],
+    config: &ModelConfig,
+) -> Result<Vec<Gp>, GpError> {
+    let mut out = Vec::with_capacity(columns.len());
+    for (j, ys) in columns.iter().enumerate() {
+        let mut cfg = config.gp.clone();
+        cfg.seed = cfg.seed.wrapping_add(100 + j as u64);
+        out.push(Gp::fit(KernelSpec::neuk(dim), xs, ys, &cfg)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kato_gp::{GpConfig, KatConfig};
+
+    fn toy_specs() -> Vec<Spec> {
+        vec![
+            Spec {
+                metric: 0,
+                kind: SpecKind::Objective(Goal::Minimize),
+            },
+            Spec {
+                metric: 1,
+                kind: SpecKind::GreaterEq(0.5),
+            },
+            Spec {
+                metric: 2,
+                kind: SpecKind::LessEq(0.8),
+            },
+        ]
+    }
+
+    /// Metrics: [x0+x1, x0, x1].
+    fn toy_data(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                vec![t, (t * 3.7) % 1.0]
+            })
+            .collect();
+        let columns = vec![
+            xs.iter().map(|x| x[0] + x[1]).collect(),
+            xs.iter().map(|x| x[0]).collect(),
+            xs.iter().map(|x| x[1]).collect(),
+        ];
+        (xs, columns)
+    }
+
+    fn quick_cfg() -> ModelConfig {
+        ModelConfig {
+            gp: GpConfig::fast(),
+            kat: KatConfig::fast(),
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn gp_models_predict_each_column() {
+        let (xs, cols) = toy_data(14);
+        let models = MetricModels::fit_gp(2, &xs, &cols, &toy_specs(), &quick_cfg()).unwrap();
+        let (mean, _) = models.models()[1].predict(&[0.3, 0.7]);
+        assert!((mean - 0.3).abs() < 0.2, "column-1 mean {mean}");
+    }
+
+    #[test]
+    fn objective_posterior_is_signed() {
+        let (xs, cols) = toy_data(14);
+        let models = MetricModels::fit_gp(2, &xs, &cols, &toy_specs(), &quick_cfg()).unwrap();
+        let (obj, _) = models.objective_posterior(&[0.5, 0.5]);
+        // cost(0.5,0.5) = 1.0 → signed −1.
+        assert!((obj + 1.0).abs() < 0.35, "signed objective {obj}");
+    }
+
+    #[test]
+    fn margin_posteriors_follow_spec_sense() {
+        let (xs, cols) = toy_data(14);
+        let models = MetricModels::fit_gp(2, &xs, &cols, &toy_specs(), &quick_cfg()).unwrap();
+        let margins = models.margin_posteriors(&[0.9, 0.1]);
+        assert_eq!(margins.len(), 2);
+        assert!((margins[0].0 - 0.4).abs() < 0.3, "{margins:?}");
+        assert!((margins[1].0 - 0.7).abs() < 0.3, "{margins:?}");
+    }
+
+    #[test]
+    fn forest_models_work_too() {
+        let (xs, cols) = toy_data(30);
+        let models = MetricModels::fit_forest(&xs, &cols, &toy_specs(), &quick_cfg());
+        let (m, v) = models.objective_posterior(&[0.5, 0.5]);
+        assert!(m.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn kat_models_with_index_alignment_and_fallback() {
+        let (xs, cols) = toy_data(16);
+        let cfg = quick_cfg();
+        // Source has only 2 columns → third target column falls back to GP.
+        let sources = fit_source_gps(2, &xs, &cols[..2], &cfg).unwrap();
+        assert_eq!(sources.len(), 2);
+        let models =
+            MetricModels::fit_kat(2, &sources, &xs, &cols, &toy_specs(), &cfg).unwrap();
+        assert!(matches!(models.models()[0], Model::Kat(_)));
+        assert!(matches!(models.models()[2], Model::Gp(_)));
+        let (m, v) = models.objective_posterior(&[0.4, 0.6]);
+        assert!(m.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn update_refits_all() {
+        let (xs, cols) = toy_data(10);
+        let cfg = quick_cfg();
+        let mut models = MetricModels::fit_gp(2, &xs, &cols, &toy_specs(), &cfg).unwrap();
+        let (xs2, cols2) = toy_data(18);
+        models.update(&xs2, &cols2, &cfg).unwrap();
+        let (m, _) = models.objective_posterior(&[0.5, 0.5]);
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    fn fom_specs_single_maximise() {
+        let s = fom_specs();
+        assert_eq!(s.len(), 1);
+        assert!(matches!(s[0].kind, SpecKind::Objective(Goal::Maximize)));
+    }
+
+    #[test]
+    fn metric_columns_transpose() {
+        use kato_circuits::Metrics;
+        let m1 = Metrics::new(vec![1.0, 2.0]);
+        let m2 = Metrics::new(vec![3.0, 4.0]);
+        let cols = metric_columns(&[&m1, &m2]);
+        assert_eq!(cols, vec![vec![1.0, 3.0], vec![2.0, 4.0]]);
+    }
+}

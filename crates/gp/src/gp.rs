@@ -1,0 +1,530 @@
+use crate::{GpError, KernelSpec, Scaler};
+use kato_autodiff::{clip_gradients, Adam, Tape};
+use kato_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training configuration for [`Gp::fit`].
+#[derive(Debug, Clone)]
+pub struct GpConfig {
+    /// Adam iterations for the (re)fit.
+    pub train_iters: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Maximum number of points used for *hyperparameter* optimisation
+    /// (the posterior still conditions on every point). Caps the `O(n²)`
+    /// tape cost on large archives.
+    pub fit_subsample: usize,
+    /// RNG seed for parameter initialisation and subsampling.
+    pub seed: u64,
+    /// Gradient-norm clip.
+    pub grad_clip: f64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            train_iters: 60,
+            lr: 0.05,
+            fit_subsample: 150,
+            seed: 0,
+            grad_clip: 50.0,
+        }
+    }
+}
+
+impl GpConfig {
+    /// A cheap profile for unit tests and doc examples.
+    #[must_use]
+    pub fn fast() -> Self {
+        GpConfig {
+            train_iters: 30,
+            lr: 0.08,
+            fit_subsample: 60,
+            ..GpConfig::default()
+        }
+    }
+}
+
+/// Exact Gaussian-process regressor with MLE-trained hyperparameters
+/// (paper §2.2, Eq. 3–4).
+///
+/// Inputs and outputs are standardised internally; predictions are returned
+/// in raw units. The kernel is either ARD-RBF or a Neural Kernel
+/// ([`KernelSpec`]).
+#[derive(Debug, Clone)]
+pub struct Gp {
+    kernel: KernelSpec,
+    params: Vec<f64>,
+    log_noise: f64,
+    x_scaler: Scaler,
+    y_scaler: Scaler,
+    /// Standardised training inputs.
+    xs: Vec<Vec<f64>>,
+    /// Standardised training targets.
+    ys: Vec<f64>,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    log_lik: f64,
+}
+
+impl Gp {
+    /// Fits hyperparameters by maximum likelihood and conditions on the full
+    /// dataset.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::BadTrainingData`] for empty/ragged inputs.
+    /// * [`GpError::GramNotPd`] if the Gram matrix cannot be factorised even
+    ///   after noise escalation.
+    pub fn fit(
+        kernel: KernelSpec,
+        x: &[Vec<f64>],
+        y: &[f64],
+        config: &GpConfig,
+    ) -> Result<Gp, GpError> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(GpError::BadTrainingData {
+                what: "x empty or x/y length mismatch",
+            });
+        }
+        let dim = kernel.input_dim();
+        if x.iter().any(|r| r.len() != dim) {
+            return Err(GpError::BadTrainingData {
+                what: "row width != kernel input dim",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let params = kernel.init_params(&mut rng);
+        let mut gp = Gp {
+            kernel,
+            params,
+            log_noise: (0.05_f64).ln(),
+            x_scaler: Scaler::fit(x),
+            y_scaler: Scaler::fit_scalar(y),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            chol: Cholesky::new(&Matrix::identity(1))?,
+            alpha: Vec::new(),
+            log_lik: f64::NEG_INFINITY,
+        };
+        gp.update_data(x, y);
+        gp.train(config)?;
+        gp.condition()?;
+        Ok(gp)
+    }
+
+    /// Replaces the dataset (re-standardising) and re-optimises
+    /// hyperparameters for `iters` Adam steps, warm-starting from the
+    /// current values — the cheap per-BO-iteration update.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gp::fit`].
+    pub fn refit(&mut self, x: &[Vec<f64>], y: &[f64], config: &GpConfig) -> Result<(), GpError> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(GpError::BadTrainingData {
+                what: "x empty or x/y length mismatch",
+            });
+        }
+        self.x_scaler = Scaler::fit(x);
+        self.y_scaler = Scaler::fit_scalar(y);
+        self.update_data(x, y);
+        self.train(config)?;
+        self.condition()
+    }
+
+    fn update_data(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        self.xs = x.iter().map(|r| self.x_scaler.transform(r)).collect();
+        self.ys = y
+            .iter()
+            .map(|&v| self.y_scaler.transform_scalar(v, 0))
+            .collect();
+    }
+
+    /// Number of training points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when the GP holds no data (cannot happen post-`fit`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Marginal log-likelihood of the (standardised) training data at the
+    /// fitted hyperparameters.
+    #[must_use]
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_lik
+    }
+
+    /// Kernel specification in use.
+    #[must_use]
+    pub fn kernel(&self) -> &KernelSpec {
+        &self.kernel
+    }
+
+    /// Fitted kernel parameters (log-domain where applicable).
+    #[must_use]
+    pub fn kernel_params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Observation noise variance (standardised-output units).
+    #[must_use]
+    pub fn noise_variance(&self) -> f64 {
+        (2.0 * self.log_noise).exp()
+    }
+
+    pub(crate) fn xs_std(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    pub(crate) fn ys_std(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Builds the noisy Gram matrix at the current hyperparameters over the
+    /// given (standardised) points.
+    fn gram(&self, pts: &[Vec<f64>]) -> Matrix {
+        let n = pts.len();
+        let noise = self.noise_variance().max(1e-10);
+        let mut k = Matrix::from_fn(n, n, |i, j| {
+            if i <= j {
+                self.kernel.eval(&self.params, &pts[i], &pts[j])
+            } else {
+                0.0
+            }
+        });
+        for i in 0..n {
+            for j in 0..i {
+                k[(i, j)] = k[(j, i)];
+            }
+        }
+        k.add_diagonal(noise + 1e-9);
+        k
+    }
+
+    /// Adam MLE loop using the B-matrix adjoint trick.
+    fn train(&mut self, config: &GpConfig) -> Result<(), GpError> {
+        let n_total = self.xs.len();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+        let idx: Vec<usize> = if n_total > config.fit_subsample {
+            let mut all: Vec<usize> = (0..n_total).collect();
+            all.shuffle(&mut rng);
+            all.truncate(config.fit_subsample);
+            all.sort_unstable();
+            all
+        } else {
+            (0..n_total).collect()
+        };
+        let pts: Vec<Vec<f64>> = idx.iter().map(|&i| self.xs[i].clone()).collect();
+        let ys: Vec<f64> = idx.iter().map(|&i| self.ys[i]).collect();
+        let n = pts.len();
+
+        let n_params = self.params.len() + 1; // + log_noise
+        let mut opt = Adam::new(n_params, config.lr);
+        let mut best = (f64::NEG_INFINITY, self.params.clone(), self.log_noise);
+
+        for _ in 0..config.train_iters {
+            // 1. Plain-f64 Gram, Cholesky, alpha, inverse.
+            let k = self.gram(&pts);
+            let Ok(chol) = Cholesky::new(&k) else {
+                // Escalate noise and keep going.
+                self.log_noise += 0.5;
+                continue;
+            };
+            let alpha = chol.solve(&ys);
+            let kinv = chol.inverse();
+            let log_lik = -0.5 * kato_linalg::dot(&ys, &alpha)
+                - 0.5 * chol.log_det()
+                - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+            if log_lik > best.0 {
+                best = (log_lik, self.params.clone(), self.log_noise);
+            }
+
+            // 2. Adjoint seeds: ∂L/∂K_ij = ½(ααᵀ − K⁻¹)_ij.
+            // 3. Tape with one node per upper-triangle Gram entry.
+            let tape = Tape::with_capacity(n * n * 40);
+            let p_vars: Vec<_> = self.params.iter().map(|&p| tape.var(p)).collect();
+            let x_vars: Vec<Vec<_>> = pts
+                .iter()
+                .map(|r| r.iter().map(|&v| tape.constant(v)).collect())
+                .collect();
+            let mut seeds = Vec::with_capacity(n * (n + 1) / 2);
+            for i in 0..n {
+                for j in i..n {
+                    let k_ij = self.kernel.eval(&p_vars, &x_vars[i], &x_vars[j]);
+                    let b_ij = alpha[i] * alpha[j] - kinv[(i, j)];
+                    let seed = if i == j { 0.5 * b_ij } else { b_ij };
+                    seeds.push((k_ij, seed));
+                }
+            }
+            let grads = tape.backward_seeded(&seeds);
+            let mut g: Vec<f64> = p_vars.iter().map(|v| grads.wrt(*v)).collect();
+            // Noise gradient: ∂L/∂σ² = ½tr(B); chain to log-noise.
+            let tr_b: f64 = (0..n).map(|i| alpha[i] * alpha[i] - kinv[(i, i)]).sum();
+            let noise = self.noise_variance();
+            g.push(0.5 * tr_b * 2.0 * noise);
+
+            // 4. Ascend.
+            for gi in g.iter_mut() {
+                *gi = -*gi;
+            }
+            let _ = clip_gradients(&mut g, config.grad_clip);
+            let mut theta: Vec<f64> = self.params.clone();
+            theta.push(self.log_noise);
+            opt.step(&mut theta, &g);
+            self.log_noise = theta.pop().expect("noise param").clamp(-7.0, 2.0);
+            for p in theta.iter_mut() {
+                *p = p.clamp(-8.0, 8.0);
+            }
+            self.params = theta;
+        }
+
+        if best.0 > f64::NEG_INFINITY {
+            self.log_lik = best.0;
+            self.params = best.1;
+            self.log_noise = best.2;
+        }
+        Ok(())
+    }
+
+    /// Conditions the posterior on the full dataset at the current
+    /// hyperparameters, escalating noise if the Gram matrix resists
+    /// factorisation.
+    fn condition(&mut self) -> Result<(), GpError> {
+        for _ in 0..6 {
+            let k = self.gram(&self.xs);
+            match Cholesky::new(&k) {
+                Ok(chol) => {
+                    self.alpha = chol.solve(&self.ys);
+                    self.chol = chol;
+                    return Ok(());
+                }
+                Err(_) => self.log_noise += 0.7,
+            }
+        }
+        Err(GpError::GramNotPd)
+    }
+
+    /// Posterior mean and variance at `x` (raw units), paper Eq. 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the kernel input dimension.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let (m, v) = self.predict_std(&self.x_scaler.transform(x));
+        let s = self.y_scaler.scale(0);
+        (self.y_scaler.inverse_scalar(m, 0), v * s * s)
+    }
+
+    /// Posterior mean/variance in standardised coordinates (`x` already
+    /// standardised). Used by KAT-GP, acquisition internals and tests.
+    #[must_use]
+    pub fn predict_std(&self, x_std: &[f64]) -> (f64, f64) {
+        assert_eq!(
+            x_std.len(),
+            self.kernel.input_dim(),
+            "predict: dimension mismatch"
+        );
+        let n = self.xs.len();
+        let mut kvec = Vec::with_capacity(n);
+        for xi in &self.xs {
+            kvec.push(self.kernel.eval(&self.params, x_std, xi));
+        }
+        let mean = kato_linalg::dot(&kvec, &self.alpha);
+        let w = self.chol.forward_sub(&kvec);
+        let k_xx = self.kernel.eval(&self.params, x_std, x_std);
+        let var = (k_xx - kato_linalg::dot(&w, &w)).max(1e-12);
+        (mean, var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).sin() + 0.3 * x[0]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = sine_data(15);
+        let gp = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, _) = gp.predict(x);
+            assert!((m - y).abs() < 0.15, "at {x:?}: {m} vs {y}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = sine_data(10);
+        let gp = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        let (_, v_in) = gp.predict(&[0.5]);
+        let (_, v_out) = gp.predict(&[3.0]);
+        assert!(v_out > v_in * 2.0, "v_in={v_in} v_out={v_out}");
+    }
+
+    #[test]
+    fn neuk_fits_sine_as_well_as_ard() {
+        let (xs, ys) = sine_data(25);
+        let ard = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        let neuk = Gp::fit(KernelSpec::neuk(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        let mut err_ard = 0.0;
+        let mut err_neuk = 0.0;
+        for i in 0..50 {
+            let x = [i as f64 / 49.0];
+            let truth = (5.0 * x[0]).sin() + 0.3 * x[0];
+            err_ard += (ard.predict(&x).0 - truth).powi(2);
+            err_neuk += (neuk.predict(&x).0 - truth).powi(2);
+        }
+        assert!(
+            err_neuk < err_ard * 3.0 + 0.5,
+            "neuk {err_neuk} vs ard {err_ard}"
+        );
+    }
+
+    #[test]
+    fn training_improves_likelihood() {
+        let (xs, ys) = sine_data(20);
+        let short = Gp::fit(
+            KernelSpec::ard_rbf(1),
+            &xs,
+            &ys,
+            &GpConfig {
+                train_iters: 1,
+                ..GpConfig::fast()
+            },
+        )
+        .unwrap();
+        let long = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        assert!(
+            long.log_likelihood() >= short.log_likelihood() - 1e-6,
+            "{} vs {}",
+            long.log_likelihood(),
+            short.log_likelihood()
+        );
+    }
+
+    #[test]
+    fn refit_warm_start_keeps_working() {
+        let (xs, ys) = sine_data(12);
+        let mut gp = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        let (xs2, ys2) = sine_data(18);
+        gp.refit(
+            &xs2,
+            &ys2,
+            &GpConfig {
+                train_iters: 10,
+                ..GpConfig::fast()
+            },
+        )
+        .unwrap();
+        assert_eq!(gp.len(), 18);
+        let (m, _) = gp.predict(&xs2[9]);
+        assert!((m - ys2[9]).abs() < 0.2);
+    }
+
+    #[test]
+    fn subsampled_fit_still_conditions_on_all_points() {
+        let (xs, ys) = sine_data(40);
+        let gp = Gp::fit(
+            KernelSpec::ard_rbf(1),
+            &xs,
+            &ys,
+            &GpConfig {
+                fit_subsample: 10,
+                ..GpConfig::fast()
+            },
+        )
+        .unwrap();
+        assert_eq!(gp.len(), 40);
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        let r = Gp::fit(KernelSpec::ard_rbf(1), &[], &[], &GpConfig::fast());
+        assert!(matches!(r, Err(GpError::BadTrainingData { .. })));
+        let r = Gp::fit(
+            KernelSpec::ard_rbf(2),
+            &[vec![1.0]],
+            &[1.0],
+            &GpConfig::fast(),
+        );
+        assert!(matches!(r, Err(GpError::BadTrainingData { .. })));
+    }
+
+    #[test]
+    fn duplicate_points_handled_via_noise() {
+        let xs = vec![vec![0.5], vec![0.5], vec![0.5], vec![0.6]];
+        let ys = vec![1.0, 1.1, 0.9, 2.0];
+        let gp = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 0.3, "mean at duplicated x: {m}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = sine_data(10);
+        let a = Gp::fit(KernelSpec::neuk(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        let b = Gp::fit(KernelSpec::neuk(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        assert_eq!(a.kernel_params(), b.kernel_params());
+    }
+
+    #[test]
+    fn mle_gradient_matches_finite_difference() {
+        // Validate the B-matrix trick end to end on a tiny problem: compare
+        // dL/dθ from the tape against numeric differentiation of the exact
+        // log-likelihood.
+        let xs = vec![vec![0.0], vec![0.4], vec![1.0]];
+        let ys = vec![0.1, 0.9, -0.3];
+        let kernel = KernelSpec::ard_rbf(1);
+        let params = vec![0.2, -0.1];
+        let noise2 = 0.05;
+
+        let loglik = |p: &[f64]| -> f64 {
+            let mut k = Matrix::from_fn(3, 3, |i, j| kernel.eval(p, &xs[i], &xs[j]));
+            k.add_diagonal(noise2);
+            let chol = Cholesky::new(&k).unwrap();
+            let alpha = chol.solve(&ys);
+            -0.5 * kato_linalg::dot(&ys, &alpha)
+                - 0.5 * chol.log_det()
+                - 1.5 * (2.0 * std::f64::consts::PI).ln()
+        };
+
+        // Analytic gradient via B-matrix seeds.
+        let mut k = Matrix::from_fn(3, 3, |i, j| kernel.eval(&params, &xs[i], &xs[j]));
+        k.add_diagonal(noise2);
+        let chol = Cholesky::new(&k).unwrap();
+        let alpha = chol.solve(&ys);
+        let kinv = chol.inverse();
+        let tape = Tape::new();
+        let p_vars: Vec<_> = params.iter().map(|&p| tape.var(p)).collect();
+        let x_vars: Vec<Vec<_>> = xs
+            .iter()
+            .map(|r| r.iter().map(|&v| tape.constant(v)).collect())
+            .collect();
+        let mut seeds = Vec::new();
+        for i in 0..3 {
+            for j in i..3 {
+                let kij = kernel.eval(&p_vars, &x_vars[i], &x_vars[j]);
+                let b = alpha[i] * alpha[j] - kinv[(i, j)];
+                seeds.push((kij, if i == j { 0.5 * b } else { b }));
+            }
+        }
+        let grads = tape.backward_seeded(&seeds);
+        let analytic = grads.wrt_slice(&p_vars);
+        let check = kato_autodiff::check_gradient(loglik, &params, &analytic, 1e-6);
+        assert!(check.passes(1e-5), "{check:?}");
+    }
+}

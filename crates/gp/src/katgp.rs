@@ -1,0 +1,568 @@
+use crate::{Gp, GpError, KernelSpec, MlpSpec, Scaler};
+use kato_autodiff::{clip_gradients, Adam, Scalar, Tape};
+use kato_linalg::Cholesky;
+use kato_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training configuration for [`KatGp::fit`].
+#[derive(Debug, Clone)]
+pub struct KatConfig {
+    /// Adam iterations.
+    pub train_iters: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Maximum source points carried into the transfer model (caps the
+    /// `O(m²)` tape cost of the predictive variance).
+    pub source_subsample: usize,
+    /// Maximum target points used per training iteration.
+    pub target_subsample: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Gradient-norm clip.
+    pub grad_clip: f64,
+}
+
+impl Default for KatConfig {
+    fn default() -> Self {
+        KatConfig {
+            train_iters: 50,
+            lr: 0.03,
+            source_subsample: 80,
+            target_subsample: 150,
+            seed: 0,
+            grad_clip: 50.0,
+        }
+    }
+}
+
+impl KatConfig {
+    /// A cheap profile for unit tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        KatConfig {
+            train_iters: 25,
+            source_subsample: 40,
+            target_subsample: 60,
+            ..KatConfig::default()
+        }
+    }
+}
+
+/// Scalar-in/scalar-out MLP (`1 → H → 1`, sigmoid hidden) whose forward pass
+/// also yields the input derivative — the decoder `D` of KAT-GP, where the
+/// Delta method (paper Eq. 11) needs the Jacobian `J = D'(µ_s)` as a
+/// *differentiable* expression so Eq. 12 can be optimised through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScalarMlp {
+    hidden: usize,
+}
+
+impl ScalarMlp {
+    fn new(hidden: usize) -> Self {
+        ScalarMlp { hidden }
+    }
+
+    fn param_count(&self) -> usize {
+        // w1[h], b1[h], w2[h], b2
+        3 * self.hidden + 1
+    }
+
+    fn init_params(&self, rng: &mut StdRng) -> Vec<f64> {
+        use rand::Rng;
+        let mut p = Vec::with_capacity(self.param_count());
+        let scale = (2.0 / (self.hidden + 1) as f64).sqrt();
+        for _ in 0..self.hidden {
+            p.push(rng.gen_range(-1.0..1.0) * scale); // w1
+        }
+        for _ in 0..self.hidden {
+            p.push(rng.gen_range(-1.0..1.0) * 0.1); // b1
+        }
+        for _ in 0..self.hidden {
+            p.push(rng.gen_range(-1.0..1.0) * scale); // w2
+        }
+        p.push(0.0); // b2
+        p
+    }
+
+    /// Identity-leaning initialisation: `D(µ) ≈ µ` at start, so the initial
+    /// transfer model is "trust the source as-is".
+    fn init_near_identity(&self, rng: &mut StdRng) -> Vec<f64> {
+        use rand::Rng;
+        let mut p = self.init_params(rng);
+        // Set w2 so that Σ w2_h·σ'(0)·w1_h ≈ 1: pair up with w1.
+        let h = self.hidden;
+        for i in 0..h {
+            let w1 = p[i];
+            // σ'(0) = 0.25; distribute identity across hidden units.
+            p[2 * h + i] = w1 * 4.0 / (h as f64 * w1 * w1 + 1e-6).max(0.25);
+        }
+        p[3 * h] = 0.0;
+        // Small perturbation keeps units from being exactly symmetric.
+        for v in p.iter_mut() {
+            *v += rng.gen_range(-0.01..0.01);
+        }
+        p
+    }
+
+    /// Returns `(D(x), D'(x))`.
+    fn forward<S: Scalar>(&self, params: &[S], x: S) -> (S, S) {
+        debug_assert_eq!(params.len(), self.param_count());
+        let h = self.hidden;
+        let (w1, rest) = params.split_at(h);
+        let (b1, rest) = rest.split_at(h);
+        let (w2, b2) = rest.split_at(h);
+        let mut y = b2[0];
+        let mut dy = x.lift(0.0);
+        for k in 0..h {
+            let s = (w1[k] * x + b1[k]).sigmoid();
+            y = y + w2[k] * s;
+            dy = dy + w2[k] * s * (x.lift(1.0) - s) * w1[k];
+        }
+        (y, dy)
+    }
+}
+
+/// Knowledge Alignment and Transfer GP (paper §3.2, Fig. 2).
+///
+/// Wraps a *frozen* source [`Gp`] in a trainable encoder
+/// `E: target design space → source design space` and decoder
+/// `D: source output → target output`:
+///
+/// `y⁽ᵗ⁾(x) = D( GP( E(x) ) )`
+///
+/// Predictive moments use the Delta method (Eq. 11):
+/// `µ_t = D(µ_s)`, `σ²_t = D'(µ_s)²·σ²_s`, and training maximises the
+/// Gaussian log-likelihood of the target data (Eq. 12) with respect to the
+/// encoder, the decoder and the target noise. The source observations are
+/// never altered — the knowledge stays in the source GP, only the
+/// *alignment* is learned.
+///
+/// Following DESIGN.md, the source GP's kernel hyperparameters and Gram
+/// inverse are held fixed during alignment training (alternating
+/// optimisation) rather than differentiating through the source Cholesky.
+#[derive(Debug, Clone)]
+pub struct KatGp {
+    // Frozen source model (subsampled).
+    kernel: KernelSpec,
+    kernel_params: Vec<f64>,
+    xs_src: Vec<Vec<f64>>,
+    alpha_src: Vec<f64>,
+    chol_src: Cholesky,
+    // Trainable alignment.
+    encoder: MlpSpec,
+    enc_params: Vec<f64>,
+    decoder: ScalarMlp,
+    dec_params: Vec<f64>,
+    log_noise: f64,
+    // Target-side standardisation.
+    x_scaler: Scaler,
+    y_scaler: Scaler,
+    target_dim: usize,
+}
+
+impl KatGp {
+    /// Fits the alignment (encoder, decoder, noise) of a frozen `source` GP
+    /// to the target dataset `(x_t, y_t)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::BadTrainingData`] for empty or ragged target data.
+    /// * Propagates factorisation failures of the source Gram subsample.
+    pub fn fit(
+        source: &Gp,
+        x_t: &[Vec<f64>],
+        y_t: &[f64],
+        config: &KatConfig,
+    ) -> Result<KatGp, GpError> {
+        if x_t.is_empty() || x_t.len() != y_t.len() {
+            return Err(GpError::BadTrainingData {
+                what: "target x empty or x/y length mismatch",
+            });
+        }
+        let target_dim = x_t[0].len();
+        if x_t.iter().any(|r| r.len() != target_dim) {
+            return Err(GpError::BadTrainingData {
+                what: "ragged target rows",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Subsample and re-condition the source.
+        let n_src = source.xs_std().len();
+        let keep: Vec<usize> = if n_src > config.source_subsample {
+            let mut idx: Vec<usize> = (0..n_src).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(config.source_subsample);
+            idx.sort_unstable();
+            idx
+        } else {
+            (0..n_src).collect()
+        };
+        let xs_src: Vec<Vec<f64>> = keep.iter().map(|&i| source.xs_std()[i].clone()).collect();
+        let ys_src: Vec<f64> = keep.iter().map(|&i| source.ys_std()[i]).collect();
+        let m = xs_src.len();
+        let kp = source.kernel_params().to_vec();
+        let kernel = source.kernel().clone();
+        let mut gram = Matrix::from_fn(m, m, |i, j| kernel.eval(&kp, &xs_src[i], &xs_src[j]));
+        gram.add_diagonal(source.noise_variance().max(1e-8) + 1e-9);
+        let chol_src = Cholesky::new(&gram)?;
+        let alpha_src = chol_src.solve(&ys_src);
+
+        let encoder = MlpSpec::kat(target_dim, kernel.input_dim());
+        let decoder = ScalarMlp::new(32);
+        let enc_params = encoder.init_params(&mut rng);
+        let dec_params = decoder.init_near_identity(&mut rng);
+
+        let mut kat = KatGp {
+            kernel,
+            kernel_params: kp,
+            xs_src,
+            alpha_src,
+            chol_src,
+            encoder,
+            enc_params,
+            decoder,
+            dec_params,
+            log_noise: (0.2_f64).ln(),
+            x_scaler: Scaler::fit(x_t),
+            y_scaler: Scaler::fit_scalar(y_t),
+            target_dim,
+        };
+        kat.train(x_t, y_t, config)?;
+        Ok(kat)
+    }
+
+    /// Re-optimises the alignment on an updated target dataset, warm-started
+    /// from the current parameters (the per-BO-iteration update).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::BadTrainingData`] for empty/ragged data.
+    pub fn refit(
+        &mut self,
+        x_t: &[Vec<f64>],
+        y_t: &[f64],
+        config: &KatConfig,
+    ) -> Result<(), GpError> {
+        if x_t.is_empty() || x_t.len() != y_t.len() {
+            return Err(GpError::BadTrainingData {
+                what: "target x empty or x/y length mismatch",
+            });
+        }
+        self.x_scaler = Scaler::fit(x_t);
+        self.y_scaler = Scaler::fit_scalar(y_t);
+        self.train(x_t, y_t, config)
+    }
+
+    /// Target input dimensionality.
+    #[must_use]
+    pub fn target_dim(&self) -> usize {
+        self.target_dim
+    }
+
+    /// Number of source points retained in the transfer model.
+    #[must_use]
+    pub fn source_len(&self) -> usize {
+        self.xs_src.len()
+    }
+
+    /// Generic predictive pipeline in standardised target coordinates.
+    /// Returns `(µ_t_std, σ²_t_std)` **without** observation noise.
+    fn predictive<S: Scalar>(
+        &self,
+        enc_params: &[S],
+        dec_params: &[S],
+        x_t_std: &[S],
+    ) -> (S, S) {
+        let ctx = x_t_std[0];
+        // Encode into the source design space.
+        let u = self.encoder.forward(enc_params, x_t_std);
+        // Source GP posterior at E(x): k-vector, mean, variance.
+        let kp: Vec<S> = self.kernel_params.iter().map(|&p| ctx.lift(p)).collect();
+        let m = self.xs_src.len();
+        let mut kvec = Vec::with_capacity(m);
+        for xs in &self.xs_src {
+            let xs_l: Vec<S> = xs.iter().map(|&v| ctx.lift(v)).collect();
+            kvec.push(self.kernel.eval(&kp, &u, &xs_l));
+        }
+        let mut mu_s = ctx.lift(0.0);
+        for (k, &a) in kvec.iter().zip(&self.alpha_src) {
+            mu_s = mu_s + *k * a;
+        }
+        // v_s = k(u,u) − ‖L⁻¹k‖² via a taped forward substitution.
+        let l = self.chol_src.l();
+        let mut w: Vec<S> = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut s = kvec[i];
+            for (j, wj) in w.iter().enumerate().take(i) {
+                s = s - *wj * l[(i, j)];
+            }
+            w.push(s / l[(i, i)]);
+        }
+        let mut wsq = ctx.lift(0.0);
+        for wi in &w {
+            wsq = wsq + *wi * *wi;
+        }
+        let k_uu = self.kernel.eval(&kp, &u, &u);
+        let v_s = (k_uu - wsq).max_val(ctx.lift(1e-10));
+        // Decode with the Delta method (Eq. 11).
+        let (mu_t, jac) = self.decoder.forward(dec_params, mu_s);
+        let v_t = jac * jac * v_s;
+        (mu_t, v_t)
+    }
+
+    /// Adam loop maximising Eq. 12.
+    fn train(&mut self, x_t: &[Vec<f64>], y_t: &[f64], config: &KatConfig) -> Result<(), GpError> {
+        let xs_std: Vec<Vec<f64>> = x_t.iter().map(|r| self.x_scaler.transform(r)).collect();
+        let ys_std: Vec<f64> = y_t
+            .iter()
+            .map(|&v| self.y_scaler.transform_scalar(v, 0))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(17));
+        let idx: Vec<usize> = if xs_std.len() > config.target_subsample {
+            let mut all: Vec<usize> = (0..xs_std.len()).collect();
+            all.shuffle(&mut rng);
+            all.truncate(config.target_subsample);
+            all
+        } else {
+            (0..xs_std.len()).collect()
+        };
+
+        let n_enc = self.enc_params.len();
+        let n_dec = self.dec_params.len();
+        let n_params = n_enc + n_dec + 1;
+        let mut opt = Adam::new(n_params, config.lr);
+        let mut best = (
+            f64::NEG_INFINITY,
+            self.enc_params.clone(),
+            self.dec_params.clone(),
+            self.log_noise,
+        );
+
+        for _ in 0..config.train_iters {
+            let tape = Tape::with_capacity(idx.len() * self.xs_src.len() * 60);
+            let enc_vars: Vec<_> = self.enc_params.iter().map(|&p| tape.var(p)).collect();
+            let dec_vars: Vec<_> = self.dec_params.iter().map(|&p| tape.var(p)).collect();
+            let noise_var = tape.var(self.log_noise);
+            let sigma2 = (noise_var * 2.0).exp();
+
+            let mut total = tape.constant(0.0);
+            for &i in &idx {
+                let x_vars: Vec<_> = xs_std[i].iter().map(|&v| tape.constant(v)).collect();
+                let (mu, v) = self.predictive(&enc_vars, &dec_vars, &x_vars);
+                let var_total = v + sigma2;
+                let resid = mu - ys_std[i];
+                let ll = -(var_total * (2.0 * std::f64::consts::PI)).ln() * 0.5
+                    - resid * resid / (var_total * 2.0);
+                total = total + ll;
+            }
+            let ll_val = total.value();
+            if ll_val.is_finite() && ll_val > best.0 {
+                best = (
+                    ll_val,
+                    enc_vars.iter().map(|v| v.value()).collect(),
+                    dec_vars.iter().map(|v| v.value()).collect(),
+                    self.log_noise,
+                );
+            }
+            let grads = tape.backward(total);
+            let mut g: Vec<f64> = enc_vars
+                .iter()
+                .chain(&dec_vars)
+                .map(|v| grads.wrt(*v))
+                .chain(std::iter::once(grads.wrt(noise_var)))
+                .collect();
+            for gi in g.iter_mut() {
+                *gi = -*gi; // ascend
+            }
+            let _ = clip_gradients(&mut g, config.grad_clip);
+            let mut theta: Vec<f64> = self
+                .enc_params
+                .iter()
+                .chain(&self.dec_params)
+                .copied()
+                .chain(std::iter::once(self.log_noise))
+                .collect();
+            opt.step(&mut theta, &g);
+            self.log_noise = theta[n_params - 1].clamp(-6.0, 2.0);
+            self.enc_params = theta[..n_enc].to_vec();
+            self.dec_params = theta[n_enc..n_enc + n_dec].to_vec();
+            for p in self.enc_params.iter_mut().chain(&mut self.dec_params) {
+                *p = p.clamp(-20.0, 20.0);
+            }
+        }
+        if best.0 > f64::NEG_INFINITY {
+            self.enc_params = best.1;
+            self.dec_params = best.2;
+            self.log_noise = best.3;
+        }
+        Ok(())
+    }
+
+    /// Posterior mean and variance at a raw target design vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the target dimensionality.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.target_dim, "KAT predict: dimension mismatch");
+        let x_std = self.x_scaler.transform(x);
+        let (m, v) = self.predictive::<f64>(&self.enc_params, &self.dec_params, &x_std);
+        let s = self.y_scaler.scale(0);
+        (self.y_scaler.inverse_scalar(m, 0), (v * s * s).max(1e-12))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpConfig;
+
+    /// Source: y = sin(5x); target: y = 2·sin(5(x+0.1)) + 1 in a 1-D space —
+    /// aligned by a shift (encoder) and an affine map (decoder).
+    fn make_source() -> Gp {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).sin()).collect();
+        Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap()
+    }
+
+    fn target_fn(x: f64) -> f64 {
+        2.0 * (5.0 * (x + 0.1)).sin() + 1.0
+    }
+
+    #[test]
+    fn scalar_mlp_derivative_matches_finite_difference() {
+        let mlp = ScalarMlp::new(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = mlp.init_params(&mut rng);
+        for &x in &[-1.0, 0.0, 0.7] {
+            let (_, dy) = mlp.forward(&params, x);
+            let h = 1e-6;
+            let (yp, _) = mlp.forward(&params, x + h);
+            let (ym, _) = mlp.forward(&params, x - h);
+            let fd = (yp - ym) / (2.0 * h);
+            assert!((dy - fd).abs() < 1e-6, "x={x}: {dy} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn near_identity_init_is_roughly_identity() {
+        let mlp = ScalarMlp::new(32);
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = mlp.init_near_identity(&mut rng);
+        let (y0, _) = mlp.forward(&params, 0.0);
+        let (y1, _) = mlp.forward(&params, 1.0);
+        // Slope within a factor ~3 of identity is enough as a starting point.
+        let slope = y1 - y0;
+        assert!(slope > 0.2 && slope < 3.0, "slope {slope}");
+    }
+
+    #[test]
+    fn kat_learns_affine_alignment() {
+        let source = make_source();
+        let x_t: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0 * 0.8]).collect();
+        let y_t: Vec<f64> = x_t.iter().map(|x| target_fn(x[0])).collect();
+        let kat = KatGp::fit(&source, &x_t, &y_t, &KatConfig::fast()).unwrap();
+        // Interpolation inside the target data range must be decent.
+        let mut mse = 0.0;
+        for i in 0..10 {
+            let x = 0.05 + 0.07 * i as f64;
+            let (m, _) = kat.predict(&[x]);
+            mse += (m - target_fn(x)).powi(2);
+        }
+        mse /= 10.0;
+        assert!(mse < 0.5, "KAT alignment mse {mse}");
+    }
+
+    #[test]
+    fn kat_variance_is_positive_and_finite() {
+        let source = make_source();
+        let x_t: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let y_t: Vec<f64> = x_t.iter().map(|x| target_fn(x[0])).collect();
+        let kat = KatGp::fit(&source, &x_t, &y_t, &KatConfig::fast()).unwrap();
+        for i in 0..20 {
+            let (m, v) = kat.predict(&[i as f64 / 19.0]);
+            assert!(m.is_finite() && v.is_finite() && v > 0.0);
+        }
+    }
+
+    #[test]
+    fn kat_bridges_different_dimensions() {
+        // Target space is 3-D; only the first coordinate matters. The
+        // encoder must learn the 3→1 compression.
+        let source = make_source();
+        let x_t: Vec<Vec<f64>> = (0..25)
+            .map(|i| {
+                let t = i as f64 / 24.0;
+                vec![t, (t * 7.0).cos() * 0.5, 0.3]
+            })
+            .collect();
+        let y_t: Vec<f64> = x_t.iter().map(|x| target_fn(x[0])).collect();
+        let kat = KatGp::fit(&source, &x_t, &y_t, &KatConfig::fast()).unwrap();
+        assert_eq!(kat.target_dim(), 3);
+        let (m, _) = kat.predict(&[0.5, (0.5_f64 * 7.0).cos() * 0.5, 0.3]);
+        assert!((m - target_fn(0.5)).abs() < 1.0, "pred {m}");
+    }
+
+    #[test]
+    fn training_improves_fit() {
+        let source = make_source();
+        let x_t: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 14.0]).collect();
+        let y_t: Vec<f64> = x_t.iter().map(|x| target_fn(x[0])).collect();
+        let short = KatGp::fit(
+            &source,
+            &x_t,
+            &y_t,
+            &KatConfig {
+                train_iters: 1,
+                ..KatConfig::fast()
+            },
+        )
+        .unwrap();
+        let long = KatGp::fit(&source, &x_t, &y_t, &KatConfig::fast()).unwrap();
+        let mse = |k: &KatGp| -> f64 {
+            x_t.iter()
+                .zip(&y_t)
+                .map(|(x, y)| (k.predict(x).0 - y).powi(2))
+                .sum::<f64>()
+                / x_t.len() as f64
+        };
+        assert!(
+            mse(&long) <= mse(&short) * 1.2 + 1e-9,
+            "long {} vs short {}",
+            mse(&long),
+            mse(&short)
+        );
+    }
+
+    #[test]
+    fn rejects_empty_target() {
+        let source = make_source();
+        let r = KatGp::fit(&source, &[], &[], &KatConfig::fast());
+        assert!(matches!(r, Err(GpError::BadTrainingData { .. })));
+    }
+
+    #[test]
+    fn refit_warm_start() {
+        let source = make_source();
+        let x_t: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let y_t: Vec<f64> = x_t.iter().map(|x| target_fn(x[0])).collect();
+        let mut kat = KatGp::fit(&source, &x_t, &y_t, &KatConfig::fast()).unwrap();
+        let x2: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 / 15.0]).collect();
+        let y2: Vec<f64> = x2.iter().map(|x| target_fn(x[0])).collect();
+        kat.refit(
+            &x2,
+            &y2,
+            &KatConfig {
+                train_iters: 5,
+                ..KatConfig::fast()
+            },
+        )
+        .unwrap();
+        let (m, _) = kat.predict(&[0.5]);
+        assert!(m.is_finite());
+    }
+}

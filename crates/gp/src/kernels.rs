@@ -1,0 +1,468 @@
+use kato_autodiff::Scalar;
+use rand::Rng;
+
+/// Primitive kernel used inside a Neural Kernel unit (paper Fig. 1a lists
+/// PER, RBF and RQ; Matérn-5/2 is included as the common fourth choice).
+///
+/// Primitives are evaluated on *learned linear projections* of the inputs,
+/// so they carry no lengthscales of their own — the projection absorbs all
+/// scaling (paper Eq. 8). Only shape parameters remain (RQ's `α`, the
+/// periodic kernel's period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimitiveKernel {
+    /// Squared exponential `exp(−r²)`.
+    Rbf,
+    /// Rational quadratic `(1 + r²/2α)^{−α}` with trainable `log α`.
+    RationalQuadratic,
+    /// Periodic `exp(−2 Σ sin²(π Δ_i / p))` with trainable `log p`.
+    Periodic,
+    /// Matérn-5/2 `(1 + √5r + 5r²/3)·exp(−√5 r)`.
+    Matern52,
+}
+
+impl PrimitiveKernel {
+    /// Number of internal shape parameters.
+    #[must_use]
+    pub fn internal_param_count(self) -> usize {
+        match self {
+            PrimitiveKernel::Rbf | PrimitiveKernel::Matern52 => 0,
+            PrimitiveKernel::RationalQuadratic | PrimitiveKernel::Periodic => 1,
+        }
+    }
+
+    /// Default internal parameters (log-domain).
+    #[must_use]
+    pub fn default_internal_params(self) -> Vec<f64> {
+        match self {
+            PrimitiveKernel::Rbf | PrimitiveKernel::Matern52 => vec![],
+            // α = 1.0, period = 2.0.
+            PrimitiveKernel::RationalQuadratic => vec![0.0],
+            PrimitiveKernel::Periodic => vec![2.0_f64.ln()],
+        }
+    }
+
+    /// Evaluates the primitive on projected feature vectors `a`, `b`.
+    ///
+    /// `internal` must hold [`PrimitiveKernel::internal_param_count`] values.
+    pub fn eval<S: Scalar>(self, internal: &[S], a: &[S], b: &[S]) -> S {
+        debug_assert_eq!(a.len(), b.len());
+        let ctx = a[0];
+        let mut r2 = ctx.lift(0.0);
+        for (ai, bi) in a.iter().zip(b) {
+            let d = *ai - *bi;
+            r2 = r2 + d * d;
+        }
+        match self {
+            PrimitiveKernel::Rbf => (-r2).exp(),
+            PrimitiveKernel::RationalQuadratic => {
+                let alpha = internal[0].exp();
+                // (1 + r²/2α)^{−α} = exp(−α·ln(1 + r²/2α))
+                let inner = (ctx.lift(1.0) + r2 / (alpha * 2.0)).ln();
+                (-(alpha * inner)).exp()
+            }
+            PrimitiveKernel::Periodic => {
+                let period = internal[0].exp();
+                let mut s = ctx.lift(0.0);
+                for (ai, bi) in a.iter().zip(b) {
+                    let arg = (*ai - *bi) * std::f64::consts::PI / period;
+                    let sv = arg.sin();
+                    s = s + sv * sv;
+                }
+                (-(s * 2.0)).exp()
+            }
+            PrimitiveKernel::Matern52 => {
+                // r²+ε keeps √· differentiable at coincident inputs.
+                let r = (r2 + 1e-12).sqrt();
+                let sq5r = r * 5.0_f64.sqrt();
+                let poly = ctx.lift(1.0) + sq5r + r2 * (5.0 / 3.0);
+                poly * (-sq5r).exp()
+            }
+        }
+    }
+}
+
+/// Neural Kernel (Neuk) unit, paper §3.1.
+///
+/// For each primitive `h_i`, inputs are projected through a learned affine
+/// map (`W⁽ⁱ⁾x + b⁽ⁱ⁾`, Eq. 8), the primitives are mixed by a linear layer
+/// (Eq. 9) and squashed through `exp(·)` (Eq. 10):
+///
+/// `k(x₁,x₂) = exp( Σ_j [Σ_i softplus(Wz_ji)·h_i + bz_j] + b_k )`
+///
+/// The mixing weights pass through `softplus` so every coefficient is
+/// positive — sums and products (via `exp`) of kernels with positive
+/// coefficients are valid kernels, which keeps the composite positive
+/// semi-definite by construction rather than by hope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeukSpec {
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Projection (latent) dimensionality per primitive.
+    pub latent_dim: usize,
+    /// Primitive kernels in the unit.
+    pub primitives: Vec<PrimitiveKernel>,
+    /// Rows of the mixing layer (`z` dimension).
+    pub mix_dim: usize,
+}
+
+impl NeukSpec {
+    /// The default unit used throughout the KATO experiments:
+    /// RBF + RQ + Periodic primitives, 2-dimensional projections, and a
+    /// mixing layer as wide as the primitive count.
+    #[must_use]
+    pub fn standard(input_dim: usize) -> Self {
+        NeukSpec {
+            input_dim,
+            latent_dim: 2,
+            primitives: vec![
+                PrimitiveKernel::Rbf,
+                PrimitiveKernel::RationalQuadratic,
+                PrimitiveKernel::Periodic,
+            ],
+            mix_dim: 3,
+        }
+    }
+
+    /// Total trainable parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        let proj = self.primitives.len() * (self.latent_dim * self.input_dim + self.latent_dim);
+        let internal: usize = self
+            .primitives
+            .iter()
+            .map(|p| p.internal_param_count())
+            .sum();
+        let mix = self.mix_dim * self.primitives.len() + self.mix_dim;
+        proj + internal + mix + 1 // +1 output bias b_k
+    }
+
+    /// Reasonable random initialisation: projections near identity-scale,
+    /// mixing weights small so the composite starts close to a plain
+    /// product of primitives.
+    pub fn init_params<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut p = Vec::with_capacity(self.param_count());
+        let scale = 1.0 / (self.input_dim as f64).sqrt();
+        for prim in &self.primitives {
+            for _ in 0..(self.latent_dim * self.input_dim) {
+                p.push(rng.gen_range(-1.0..1.0) * scale);
+            }
+            for _ in 0..self.latent_dim {
+                p.push(0.0);
+            }
+            p.extend(prim.default_internal_params());
+        }
+        for _ in 0..(self.mix_dim * self.primitives.len()) {
+            // softplus(-1.0) ≈ 0.31: gentle initial mixing.
+            p.push(-1.0 + rng.gen_range(-0.2..0.2));
+        }
+        for _ in 0..self.mix_dim {
+            p.push(0.0);
+        }
+        p.push(0.0); // b_k → amplitude e^0 = 1 on standardized outputs
+        p
+    }
+
+    /// Evaluates the Neuk covariance between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `params` has the wrong length.
+    pub fn eval<S: Scalar>(&self, params: &[S], a: &[S], b: &[S]) -> S {
+        debug_assert_eq!(params.len(), self.param_count(), "Neuk param mismatch");
+        let ctx = params[0];
+        let mut offset = 0;
+        let mut h = Vec::with_capacity(self.primitives.len());
+        for prim in &self.primitives {
+            let w = &params[offset..offset + self.latent_dim * self.input_dim];
+            offset += self.latent_dim * self.input_dim;
+            let bias = &params[offset..offset + self.latent_dim];
+            offset += self.latent_dim;
+            let n_int = prim.internal_param_count();
+            let internal = &params[offset..offset + n_int];
+            offset += n_int;
+
+            let mut pa = Vec::with_capacity(self.latent_dim);
+            let mut pb = Vec::with_capacity(self.latent_dim);
+            for l in 0..self.latent_dim {
+                let mut sa = bias[l];
+                let mut sb = bias[l];
+                for i in 0..self.input_dim {
+                    let wli = w[l * self.input_dim + i];
+                    sa = sa + wli * a[i];
+                    sb = sb + wli * b[i];
+                }
+                pa.push(sa);
+                pb.push(sb);
+            }
+            h.push(prim.eval(internal, &pa, &pb));
+        }
+
+        // Mixing layer with positive (softplus) weights, then exp.
+        let wz = &params[offset..offset + self.mix_dim * self.primitives.len()];
+        offset += self.mix_dim * self.primitives.len();
+        let bz = &params[offset..offset + self.mix_dim];
+        offset += self.mix_dim;
+        let b_k = params[offset];
+
+        let mut total = b_k;
+        for j in 0..self.mix_dim {
+            let mut zj = bz[j];
+            for (i, hi) in h.iter().enumerate() {
+                let raw = wz[j * h.len() + i];
+                // softplus(w) = ln(1 + e^w) ≥ 0 keeps the combination PSD.
+                let pos = (raw.exp() + ctx.lift(1.0)).ln();
+                zj = zj + pos * *hi;
+            }
+            total = total + zj;
+        }
+        total.exp()
+    }
+}
+
+/// Covariance function used by [`crate::Gp`]: either a classic ARD-RBF
+/// (paper §2.2) or a Neural Kernel unit (paper §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelSpec {
+    /// `θ₀·exp(−Σ (Δ_i/ℓ_i)²)` with trainable log-amplitude and per-dimension
+    /// log-lengthscales.
+    ArdRbf {
+        /// Input dimensionality.
+        dim: usize,
+    },
+    /// Neural Kernel unit.
+    Neuk(NeukSpec),
+}
+
+impl KernelSpec {
+    /// Convenience constructor for the ARD-RBF kernel.
+    #[must_use]
+    pub fn ard_rbf(dim: usize) -> Self {
+        KernelSpec::ArdRbf { dim }
+    }
+
+    /// Convenience constructor for the standard Neuk unit.
+    #[must_use]
+    pub fn neuk(dim: usize) -> Self {
+        KernelSpec::Neuk(NeukSpec::standard(dim))
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        match self {
+            KernelSpec::ArdRbf { dim } => *dim,
+            KernelSpec::Neuk(spec) => spec.input_dim,
+        }
+    }
+
+    /// Trainable parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        match self {
+            KernelSpec::ArdRbf { dim } => dim + 1,
+            KernelSpec::Neuk(spec) => spec.param_count(),
+        }
+    }
+
+    /// Random initial parameters.
+    pub fn init_params<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        match self {
+            // log-amplitude 0, log-lengthscales 0 (unit, on standardized x).
+            KernelSpec::ArdRbf { dim } => {
+                let mut p = vec![0.0];
+                for _ in 0..*dim {
+                    p.push(rng.gen_range(-0.3..0.3));
+                }
+                p
+            }
+            KernelSpec::Neuk(spec) => spec.init_params(rng),
+        }
+    }
+
+    /// Evaluates `k(a, b)`.
+    pub fn eval<S: Scalar>(&self, params: &[S], a: &[S], b: &[S]) -> S {
+        match self {
+            KernelSpec::ArdRbf { dim } => {
+                debug_assert_eq!(params.len(), dim + 1);
+                let amp = params[0].exp();
+                let mut s = params[0].lift(0.0);
+                for i in 0..*dim {
+                    let ls = params[1 + i].exp();
+                    let d = (a[i] - b[i]) / ls;
+                    s = s + d * d;
+                }
+                amp * (-s).exp()
+            }
+            KernelSpec::Neuk(spec) => spec.eval(params, a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kato_linalg::{Cholesky, Matrix};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gram(spec: &KernelSpec, params: &[f64], xs: &[Vec<f64>]) -> Matrix {
+        Matrix::from_fn(xs.len(), xs.len(), |i, j| {
+            spec.eval(params, &xs[i], &xs[j])
+        })
+    }
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn primitives_are_one_at_zero_distance() {
+        let a = [0.3, -0.7];
+        for prim in [
+            PrimitiveKernel::Rbf,
+            PrimitiveKernel::RationalQuadratic,
+            PrimitiveKernel::Periodic,
+            PrimitiveKernel::Matern52,
+        ] {
+            let internal = prim.default_internal_params();
+            let v = prim.eval(&internal, &a, &a);
+            assert!((v - 1.0).abs() < 1e-5, "{prim:?} k(x,x) = {v}");
+        }
+    }
+
+    #[test]
+    fn primitives_decay_with_distance() {
+        let a = [0.0];
+        for prim in [
+            PrimitiveKernel::Rbf,
+            PrimitiveKernel::RationalQuadratic,
+            PrimitiveKernel::Matern52,
+        ] {
+            let internal = prim.default_internal_params();
+            let near = prim.eval(&internal, &a, &[0.1]);
+            let far = prim.eval(&internal, &a, &[1.5]);
+            assert!(near > far, "{prim:?}: {near} vs {far}");
+        }
+    }
+
+    #[test]
+    fn periodic_kernel_repeats() {
+        let internal = PrimitiveKernel::Periodic.default_internal_params();
+        let period = internal[0].exp();
+        let k0 = PrimitiveKernel::Periodic.eval(&internal, &[0.0], &[0.3]);
+        let k1 = PrimitiveKernel::Periodic.eval(&internal, &[0.0], &[0.3 + period]);
+        assert!((k0 - k1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ard_rbf_symmetry_and_amplitude() {
+        let spec = KernelSpec::ard_rbf(3);
+        let params = vec![0.5_f64, 0.1, -0.2, 0.3];
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, 1.5, 2.0];
+        let kab = spec.eval(&params, &a, &b);
+        let kba = spec.eval(&params, &b, &a);
+        assert!((kab - kba).abs() < 1e-14);
+        let kaa = spec.eval(&params, &a, &a);
+        assert!((kaa - 0.5_f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neuk_param_count_consistent() {
+        let spec = NeukSpec::standard(5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = spec.init_params(&mut rng);
+        assert_eq!(p.len(), spec.param_count());
+        // 3 primitives × (2×5 W + 2 b) + 2 internal (RQ, PER) + mix 3×3+3 + 1
+        assert_eq!(spec.param_count(), 3 * 12 + 2 + 12 + 1);
+    }
+
+    #[test]
+    fn neuk_is_symmetric_and_positive() {
+        let spec = NeukSpec::standard(3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = spec.init_params(&mut rng);
+        let a = [0.1, -0.5, 0.9];
+        let b = [-0.3, 0.2, 0.4];
+        let kab = spec.eval(&p, &a, &b);
+        let kba = spec.eval(&p, &b, &a);
+        assert!((kab - kba).abs() < 1e-12);
+        assert!(kab > 0.0);
+        let kaa = spec.eval(&p, &a, &a);
+        assert!(kaa >= kab, "diagonal dominates: {kaa} vs {kab}");
+    }
+
+    #[test]
+    fn neuk_gram_is_positive_definite() {
+        // PSD-by-construction claim: Gram matrices over random points and
+        // random parameters must factor with (at most jitter-level) help.
+        let spec = KernelSpec::neuk(4);
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let params = spec.init_params(&mut rng);
+            let xs = random_points(20, 4, seed + 100);
+            let mut g = gram(&spec, &params, &xs);
+            g.add_diagonal(1e-8);
+            assert!(
+                Cholesky::new(&g).is_ok(),
+                "Neuk gram not PD for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn ard_gram_is_positive_definite() {
+        let spec = KernelSpec::ard_rbf(3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let params = spec.init_params(&mut rng);
+        let xs = random_points(25, 3, 5);
+        let mut g = gram(&spec, &params, &xs);
+        g.add_diagonal(1e-8);
+        assert!(Cholesky::new(&g).is_ok());
+    }
+
+    #[test]
+    fn neuk_taped_gradient_matches_finite_difference() {
+        use kato_autodiff::{check_gradient, Tape};
+        let spec = KernelSpec::neuk(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let params = spec.init_params(&mut rng);
+        let a = [0.4, -0.1];
+        let b = [-0.2, 0.7];
+
+        let f = |p: &[f64]| spec.eval(p, &a, &b);
+        let tape = Tape::new();
+        let p_vars: Vec<_> = params.iter().map(|&v| tape.var(v)).collect();
+        let a_vars: Vec<_> = a.iter().map(|&v| tape.constant(v)).collect();
+        let b_vars: Vec<_> = b.iter().map(|&v| tape.constant(v)).collect();
+        let k = spec.eval(&p_vars, &a_vars, &b_vars);
+        let grads = tape.backward(k);
+        let analytic = grads.wrt_slice(&p_vars);
+        let check = check_gradient(f, &params, &analytic, 1e-6);
+        assert!(check.passes(1e-4), "{check:?}");
+    }
+
+    #[test]
+    fn matern_gradient_finite_at_coincident_points() {
+        use kato_autodiff::Tape;
+        let spec = KernelSpec::Neuk(NeukSpec {
+            input_dim: 2,
+            latent_dim: 2,
+            primitives: vec![PrimitiveKernel::Matern52],
+            mix_dim: 1,
+        });
+        let mut rng = SmallRng::seed_from_u64(4);
+        let params = spec.init_params(&mut rng);
+        let tape = Tape::new();
+        let p_vars: Vec<_> = params.iter().map(|&v| tape.var(v)).collect();
+        let a: Vec<_> = [0.5, 0.5].iter().map(|&v| tape.constant(v)).collect();
+        let k = spec.eval(&p_vars, &a, &a);
+        let grads = tape.backward(k);
+        for pv in &p_vars {
+            assert!(grads.wrt(*pv).is_finite(), "NaN gradient on diagonal");
+        }
+    }
+}

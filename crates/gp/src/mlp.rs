@@ -1,0 +1,184 @@
+use kato_autodiff::Scalar;
+use rand::Rng;
+
+/// A small fully connected network with sigmoid hidden activations and a
+/// linear output layer — the encoder/decoder architecture of KAT-GP
+/// (paper §3.2: `linear(d_in×32) – sigmoid – linear(32×d_out)`).
+///
+/// Parameters live in an external flat slice so the same spec can be
+/// evaluated with plain `f64` (inference) or taped
+/// [`Var`](kato_autodiff::Var)s (training).
+///
+/// # Example
+///
+/// ```
+/// use kato_gp::MlpSpec;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let spec = MlpSpec::new(&[3, 8, 2]);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let params = spec.init_params(&mut rng);
+/// let out = spec.forward(&params, &[0.1, -0.2, 0.3]);
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    sizes: Vec<usize>,
+}
+
+impl MlpSpec {
+    /// Creates a spec from layer sizes `[in, hidden..., out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "zero-width layer");
+        MlpSpec {
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// The paper's KAT encoder/decoder shape: `in → 32 → out`.
+    #[must_use]
+    pub fn kat(d_in: usize, d_out: usize) -> Self {
+        MlpSpec::new(&[d_in, 32, d_out])
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().expect("non-empty")
+    }
+
+    /// Total number of parameters (weights + biases).
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.sizes
+            .windows(2)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum()
+    }
+
+    /// Xavier-style random initialisation.
+    pub fn init_params<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut params = Vec::with_capacity(self.param_count());
+        for w in self.sizes.windows(2) {
+            let (n_in, n_out) = (w[0], w[1]);
+            let scale = (2.0 / (n_in + n_out) as f64).sqrt();
+            for _ in 0..(n_in * n_out) {
+                params.push(rng.gen_range(-1.0..1.0) * scale);
+            }
+            for _ in 0..n_out {
+                params.push(0.0);
+            }
+        }
+        params
+    }
+
+    /// Forward pass. Hidden layers use sigmoid; the output layer is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `input` have the wrong length.
+    pub fn forward<S: Scalar>(&self, params: &[S], input: &[S]) -> Vec<S> {
+        assert_eq!(input.len(), self.sizes[0], "MLP input width mismatch");
+        assert_eq!(params.len(), self.param_count(), "MLP param count mismatch");
+        let mut activ: Vec<S> = input.to_vec();
+        let mut offset = 0;
+        let n_layers = self.sizes.len() - 1;
+        for (li, w) in self.sizes.windows(2).enumerate() {
+            let (n_in, n_out) = (w[0], w[1]);
+            let weights = &params[offset..offset + n_in * n_out];
+            let biases = &params[offset + n_in * n_out..offset + n_in * n_out + n_out];
+            offset += n_in * n_out + n_out;
+            let mut next = Vec::with_capacity(n_out);
+            for o in 0..n_out {
+                let mut acc = biases[o];
+                for (i, &a) in activ.iter().enumerate() {
+                    acc = acc + weights[o * n_in + i] * a;
+                }
+                if li + 1 < n_layers {
+                    acc = acc.sigmoid();
+                }
+                next.push(acc);
+            }
+            activ = next;
+        }
+        activ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kato_autodiff::{check_gradient, Tape};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn param_count_matches_layout() {
+        let spec = MlpSpec::new(&[3, 32, 1]);
+        assert_eq!(spec.param_count(), 3 * 32 + 32 + 32 + 1);
+        assert_eq!(MlpSpec::kat(5, 2).param_count(), 5 * 32 + 32 + 32 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_identity_network() {
+        // 1→1 linear with weight 2, bias 1 (single layer → purely linear).
+        let spec = MlpSpec::new(&[1, 1]);
+        let out = spec.forward(&[2.0, 1.0], &[3.0]);
+        assert_eq!(out, vec![7.0]);
+    }
+
+    #[test]
+    fn hidden_layer_applies_sigmoid() {
+        // 1→1→1 with weights 1, biases 0: out = sigmoid(x) · 1.
+        let spec = MlpSpec::new(&[1, 1, 1]);
+        let params = [1.0, 0.0, 1.0, 0.0];
+        let out = spec.forward(&params, &[0.0]);
+        assert!((out[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taped_gradient_matches_finite_difference() {
+        let spec = MlpSpec::new(&[2, 4, 1]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let params = spec.init_params(&mut rng);
+        let x = [0.3, -0.8];
+
+        let f = |p: &[f64]| spec.forward(p, &x)[0];
+        let tape = Tape::new();
+        let p_vars: Vec<_> = params.iter().map(|&p| tape.var(p)).collect();
+        let x_vars: Vec<_> = x.iter().map(|&v| tape.constant(v)).collect();
+        let out = spec.forward(&p_vars, &x_vars)[0];
+        let grads = tape.backward(out);
+        let analytic = grads.wrt_slice(&p_vars);
+        let check = check_gradient(f, &params, &analytic, 1e-6);
+        assert!(check.passes(1e-5), "{check:?}");
+    }
+
+    #[test]
+    fn deterministic_init_given_seed() {
+        let spec = MlpSpec::kat(4, 1);
+        let a = spec.init_params(&mut SmallRng::seed_from_u64(3));
+        let b = spec.init_params(&mut SmallRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let spec = MlpSpec::new(&[2, 1]);
+        let _ = spec.forward(&[1.0, 1.0, 0.0], &[1.0]);
+    }
+}

@@ -1,0 +1,294 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite matrix,
+/// with automatic diagonal jitter for numerically borderline Gram matrices.
+///
+/// Gaussian-process Gram matrices frequently sit on the edge of positive
+/// definiteness (duplicated inputs, tiny noise). [`Cholesky::new`] therefore
+/// retries with exponentially growing jitter (starting at `1e-10` times the
+/// mean diagonal) before giving up.
+///
+/// # Example
+///
+/// ```
+/// use kato_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), kato_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&[3.0, 3.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Maximum number of jitter escalations before declaring failure.
+    const MAX_TRIES: usize = 10;
+
+    /// Factorises `a`, adding jitter to the diagonal if required.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::NotPositiveDefinite`] if factorisation keeps failing
+    ///   after the maximum jitter escalation.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mean_diag = if n == 0 {
+            1.0
+        } else {
+            (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64
+        };
+        let base = (mean_diag.max(1e-300)) * 1e-10;
+        let mut jitter = 0.0;
+        for attempt in 0..Self::MAX_TRIES {
+            match Self::try_factor(a, jitter) {
+                Some(l) => return Ok(Cholesky { l, jitter }),
+                None => {
+                    jitter = base * 10f64.powi(attempt as i32);
+                }
+            }
+        }
+        Err(LinalgError::NotPositiveDefinite)
+    }
+
+    fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    #[must_use]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Jitter that was added to the diagonal to achieve factorisation.
+    #[must_use]
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Solves `A x = b` using forward then backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.forward_sub(b);
+        self.backward_sub(&y)
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn forward_sub(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "forward_sub: rhs length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` (backward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the matrix dimension.
+    #[must_use]
+    pub fn backward_sub(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(y.len(), n, "backward_sub: rhs length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Log-determinant of `A`: `2 Σ log L_ii`.
+    #[must_use]
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse `A⁻¹` (used for the GP B-matrix gradient trick, where
+    /// every entry of the inverse is genuinely needed).
+    #[must_use]
+    pub fn inverse(&self) -> Matrix {
+        let n = self.l.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv.symmetrize();
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd_from_seedish(vals: &[f64], n: usize) -> Matrix {
+        // Build A = B Bᵀ + n I, guaranteed SPD.
+        let b = Matrix::from_fn(n, n, |i, j| vals[(i * n + j) % vals.len()]);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd_from_seedish(&[0.3, -1.2, 0.7, 2.0, 0.05, -0.4], 5);
+        let c = Cholesky::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..5).map(|i| (i as f64) - 2.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_2x2() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        assert!((c.log_det() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd_from_seedish(&[1.0, 0.2, -0.3, 0.9], 4);
+        let c = Cholesky::new(&a).unwrap();
+        let prod = c.inverse().matmul(&a).unwrap();
+        let err = (&prod - &Matrix::identity(4)).max_abs();
+        assert!(err < 1e-9, "max deviation from identity: {err}");
+    }
+
+    #[test]
+    fn near_singular_succeeds_with_finite_solve() {
+        // Rank-1 matrix plus a tiny diagonal: must factor (with jitter if the
+        // rounding falls the wrong way) and produce finite solves.
+        let mut a = Matrix::from_fn(3, 3, |_, _| 1.0);
+        a.add_diagonal(1e-14);
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&[1.0, 1.0, 1.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn exactly_singular_rank1_gets_jitter() {
+        // Exactly rank-1: zero pivot forces at least one jitter escalation.
+        let a = Matrix::from_fn(3, 3, |_, _| 1.0);
+        let c = Cholesky::new(&a).unwrap();
+        assert!(c.jitter() > 0.0);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_definite() {
+        let a = Matrix::from_rows(&[&[-5.0, 0.0], &[0.0, -5.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_roundtrip(seed in proptest::collection::vec(-2.0..2.0f64, 9), n in 2usize..6) {
+            let a = spd_from_seedish(&seed, n);
+            let c = Cholesky::new(&a).unwrap();
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7) - 1.0).collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = c.solve(&b);
+            for (xi, ti) in x.iter().zip(&x_true) {
+                prop_assert!((xi - ti).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_l_lower_triangular(seed in proptest::collection::vec(-2.0..2.0f64, 9), n in 2usize..6) {
+            let a = spd_from_seedish(&seed, n);
+            let c = Cholesky::new(&a).unwrap();
+            for i in 0..n {
+                for j in (i+1)..n {
+                    prop_assert_eq!(c.l()[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+}

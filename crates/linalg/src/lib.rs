@@ -1,0 +1,98 @@
+//! Dense linear algebra substrate for the KATO transistor-sizing stack.
+//!
+//! The KATO reproduction deliberately avoids third-party numerics crates, so
+//! this crate provides everything the rest of the workspace needs:
+//!
+//! * [`Matrix`] — a small row-major dense `f64` matrix with the usual
+//!   arithmetic, products and views.
+//! * [`Cholesky`] — jittered Cholesky factorisation used by the Gaussian
+//!   process crates for Gram-matrix solves and log-determinants.
+//! * [`Lu`] — partially-pivoted LU for the real Newton solves inside the MNA
+//!   circuit simulator.
+//! * [`Complex64`] / [`ComplexLu`] — minimal complex arithmetic and a complex
+//!   LU solve for small-signal AC analysis.
+//! * [`stats`] — summary statistics (mean/std/quantiles) used for output
+//!   standardisation and experiment reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use kato_linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), kato_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let chol = Cholesky::new(&a)?;
+//! let x = chol.solve(&[1.0, 2.0]);
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cholesky;
+mod complex;
+mod error;
+mod lu;
+mod matrix;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use complex::{Complex64, ComplexLu};
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean norm of a slice.
+#[must_use]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn sq_dist_is_zero_on_identical_inputs() {
+        let v = [0.3, -1.5, 2.0];
+        assert_eq!(sq_dist(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn norm_matches_pythagoras() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

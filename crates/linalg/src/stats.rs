@@ -1,0 +1,226 @@
+//! Summary statistics used for data standardisation and experiment reporting.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (`n-1` denominator); `0.0` when `n < 2`.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Minimum; `f64::INFINITY` for an empty slice.
+#[must_use]
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum; `f64::NEG_INFINITY` for an empty slice.
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Linear-interpolated quantile, `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Empirical CDF value of `x` within `sample` (fraction of entries ≤ `x`),
+/// clipped away from 0 and 1 for use inside Gaussian-copula transforms.
+#[must_use]
+pub fn ecdf(sample: &[f64], x: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.5;
+    }
+    let count = sample.iter().filter(|&&s| s <= x).count();
+    let n = sample.len() as f64;
+    ((count as f64) / n).clamp(0.5 / n, 1.0 - 0.5 / n)
+}
+
+/// Inverse CDF of the standard normal distribution
+/// (Acklam's rational approximation, |relative error| < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+#[must_use]
+pub fn norm_inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "norm_inv_cdf requires p in (0,1)");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard normal PDF.
+#[must_use]
+pub fn norm_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via `erf`-free Abramowitz–Stegun 7.1.26 approximation
+/// (max absolute error ~1.5e-7, ample for acquisition functions).
+#[must_use]
+pub fn norm_cdf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs() / std::f64::consts::SQRT_2;
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    0.5 * (1.0 + sign * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_std_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic dataset is sqrt(32/7).
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+        assert_eq!(ecdf(&[], 1.0), 0.5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_key_points() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(norm_cdf(-8.0) < 1e-10);
+    }
+
+    #[test]
+    fn normal_inverse_cdf_roundtrip() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = norm_inv_cdf(p);
+            assert!((norm_cdf(x) - p).abs() < 1e-5, "p={p}");
+        }
+    }
+
+    #[test]
+    fn pdf_peak_at_zero() {
+        assert!((norm_pdf(0.0) - 0.398_942_280_401).abs() < 1e-9);
+        assert!(norm_pdf(1.0) < norm_pdf(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantile_within_bounds(xs in proptest::collection::vec(-100.0..100.0f64, 1..50), q in 0.0..=1.0f64) {
+            let v = quantile(&xs, q);
+            prop_assert!(v >= min(&xs) - 1e-12);
+            prop_assert!(v <= max(&xs) + 1e-12);
+        }
+
+        #[test]
+        fn prop_cdf_monotone(a in -5.0..5.0f64, b in -5.0..5.0f64) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_ecdf_in_unit_interval(sample in proptest::collection::vec(-10.0..10.0f64, 1..40), x in -20.0..20.0f64) {
+            let v = ecdf(&sample, x);
+            prop_assert!(v > 0.0 && v < 1.0);
+        }
+    }
+}

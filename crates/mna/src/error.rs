@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+use kato_linalg::LinalgError;
+
+/// Errors produced by circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MnaError {
+    /// Newton iteration failed to converge even with gmin stepping.
+    DcNoConvergence {
+        /// Number of Newton iterations attempted at the final gmin level.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// The small-signal system was singular at some frequency (typically a
+    /// floating node).
+    SingularSystem {
+        /// Frequency in Hz at which the solve failed (`0.0` for DC).
+        freq_hz: f64,
+    },
+    /// A node id referenced an element that does not exist in this circuit.
+    UnknownNode(usize),
+    /// An element parameter was non-physical (negative resistance, zero
+    /// width, ...).
+    BadParameter {
+        /// Description of the offending parameter.
+        what: &'static str,
+    },
+    /// Underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnaError::DcNoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "dc analysis did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            MnaError::SingularSystem { freq_hz } => {
+                write!(f, "singular MNA system at {freq_hz} Hz (floating node?)")
+            }
+            MnaError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            MnaError::BadParameter { what } => write!(f, "non-physical parameter: {what}"),
+            MnaError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for MnaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MnaError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MnaError {
+    fn from(e: LinalgError) -> Self {
+        MnaError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = MnaError::DcNoConvergence {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = MnaError::from(LinalgError::Singular);
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MnaError>();
+    }
+}

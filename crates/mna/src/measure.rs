@@ -1,0 +1,134 @@
+//! Bode-plot measurements used by the sizing loop: unity-gain frequency and
+//! phase margin.
+
+use crate::BodeData;
+
+/// Frequency (Hz) at which the magnitude crosses 0 dB, found by scanning the
+/// sweep and interpolating in log-frequency. Returns `None` if the response
+/// never crosses unity inside the swept range (e.g. the amplifier never
+/// reaches 0 dB, or starts below it).
+#[must_use]
+pub fn unity_gain_freq(bode: &BodeData) -> Option<f64> {
+    let mags = bode.mags_db();
+    let freqs = bode.freqs();
+    if mags[0] <= 0.0 {
+        return None;
+    }
+    for i in 1..mags.len() {
+        if mags[i] <= 0.0 {
+            // Interpolate between i-1 and i in log-f.
+            let m0 = mags[i - 1];
+            let m1 = mags[i];
+            let t = m0 / (m0 - m1);
+            let lf = freqs[i - 1].ln() + t * (freqs[i].ln() - freqs[i - 1].ln());
+            return Some(lf.exp());
+        }
+    }
+    None
+}
+
+/// Phase margin in degrees: `180° + (∠H(f_unity) − ∠H(f_min))`.
+///
+/// The phase is referenced to the lowest swept frequency so the result is
+/// insensitive to the stimulus polarity (an inverting path whose phase starts
+/// at ±180° is handled identically to a non-inverting one). Returns `None`
+/// when there is no unity-gain crossing in the sweep.
+#[must_use]
+pub fn phase_margin_deg(bode: &BodeData) -> Option<f64> {
+    let fu = unity_gain_freq(bode)?;
+    let phases = bode.phases_deg_unwrapped();
+    let lag = crate::ac::interp_log_f(bode.freqs(), &phases, fu) - phases[0];
+    Some(180.0 + lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AcSweep, Circuit};
+
+    /// Single-pole integrator-like stage: A0 = 1000 (60 dB), fp = 1 kHz.
+    /// Unity-gain at ≈ A0·fp = 1 MHz, phase margin ≈ 90°.
+    fn single_pole_amp() -> (Circuit, crate::NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.vsource_ac(vin, Circuit::GND, 0.0, 1.0);
+        ckt.vccs(Circuit::GND, vout, vin, Circuit::GND, 1e-3); // non-inverting
+        ckt.resistor(vout, Circuit::GND, 1e6); // A0 = 1000
+        let c = 1.0 / (2.0 * std::f64::consts::PI * 1e6 * 1e3); // fp = 1 kHz
+        ckt.capacitor(vout, Circuit::GND, c);
+        (ckt, vout)
+    }
+
+    #[test]
+    fn unity_gain_of_single_pole_amp() {
+        let (ckt, vout) = single_pole_amp();
+        let bode = ckt
+            .ac_transfer(vout, &AcSweep::log(10.0, 1e8, 241))
+            .unwrap();
+        let fu = unity_gain_freq(&bode).unwrap();
+        assert!(
+            (fu - 1e6).abs() / 1e6 < 0.02,
+            "unity-gain frequency {fu:.3e}"
+        );
+    }
+
+    #[test]
+    fn phase_margin_of_single_pole_is_90() {
+        let (ckt, vout) = single_pole_amp();
+        let bode = ckt
+            .ac_transfer(vout, &AcSweep::log(10.0, 1e8, 241))
+            .unwrap();
+        let pm = phase_margin_deg(&bode).unwrap();
+        assert!((pm - 90.0).abs() < 2.0, "phase margin {pm}");
+    }
+
+    #[test]
+    fn two_pole_amp_has_lower_margin() {
+        let (mut ckt, _) = single_pole_amp();
+        // Second pole at 1 MHz via an RC follower stage driven by vout.
+        let vout = ckt.node("out");
+        let v2 = ckt.node("out2");
+        ckt.vccs(Circuit::GND, v2, vout, Circuit::GND, 1e-3);
+        ckt.resistor(v2, Circuit::GND, 1e3); // unity buffer stage
+        let c2 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e6); // fp2 = 1 MHz
+        ckt.capacitor(v2, Circuit::GND, c2);
+        let bode = ckt.ac_transfer(v2, &AcSweep::log(10.0, 1e8, 241)).unwrap();
+        let pm = phase_margin_deg(&bode).unwrap();
+        // Second pole at the unity crossing: PM ≈ 45°.
+        assert!(pm > 20.0 && pm < 60.0, "phase margin {pm}");
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        // Flat 0.5x attenuator never crosses unity.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.vsource_ac(vin, Circuit::GND, 0.0, 1.0);
+        ckt.resistor(vin, vout, 1e3);
+        ckt.resistor(vout, Circuit::GND, 1e3);
+        let bode = ckt.ac_transfer(vout, &AcSweep::log(1.0, 1e3, 31)).unwrap();
+        assert!(unity_gain_freq(&bode).is_none());
+        assert!(phase_margin_deg(&bode).is_none());
+    }
+
+    #[test]
+    fn inverting_stimulus_gives_same_margin() {
+        // Same single-pole amp but with the VCCS polarity flipped: the phase
+        // starts at 180° instead of 0°, the margin must not change.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.vsource_ac(vin, Circuit::GND, 0.0, 1.0);
+        ckt.vccs(vout, Circuit::GND, vin, Circuit::GND, 1e-3); // inverting
+        ckt.resistor(vout, Circuit::GND, 1e6);
+        let c = 1.0 / (2.0 * std::f64::consts::PI * 1e6 * 1e3);
+        ckt.capacitor(vout, Circuit::GND, c);
+        let bode = ckt
+            .ac_transfer(vout, &AcSweep::log(10.0, 1e8, 241))
+            .unwrap();
+        let pm = phase_margin_deg(&bode).unwrap();
+        assert!((pm - 90.0).abs() < 2.0, "phase margin {pm}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: size a two-stage op-amp with KATO in under a minute.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use kato::{BoSettings, Kato, Mode};
+use kato_circuits::{SizingProblem, TechNode, TwoStageOpAmp};
+
+fn main() {
+    // The paper's first benchmark: Miller two-stage OTA at 180 nm.
+    // Spec (Eq. 15-like): minimise I_total s.t. gain/PM/GBW bounds.
+    let problem = TwoStageOpAmp::new(TechNode::n180());
+    println!("problem: {} ({} design variables)", problem.name(), problem.dim());
+
+    // KATO = NeukGP + modified constrained MACE (no transfer here).
+    let settings = BoSettings::quick(60, 42);
+    let history = Kato::new(settings).run(&problem, Mode::Constrained);
+
+    match history.best() {
+        Some(best) => {
+            println!("\nbest design after {} simulations:", history.len());
+            for (name, value) in problem.physical(&best.x) {
+                println!("  {name:<10} = {value:.4e}");
+            }
+            println!("metrics ({:?}):", problem.metric_names());
+            println!("  {}", best.metrics);
+            println!("feasible: {}", best.feasible);
+        }
+        None => println!("no feasible design found - try a larger budget"),
+    }
+
+    // Compare against the built-in expert reference design.
+    let expert = problem.evaluate(&problem.expert_design());
+    println!("\nhuman-expert reference: {expert}");
+}

@@ -1,0 +1,59 @@
+//! Integration: the full KATO pipeline (circuits -> simulator -> surrogates
+//! -> acquisition -> optimizer) on the real two-stage op-amp.
+
+use kato::baselines::RandomSearch;
+use kato::{BoSettings, Kato, Mode};
+use kato_circuits::{FomSpec, SizingProblem, TechNode, TwoStageOpAmp};
+
+#[test]
+fn kato_constrained_beats_random_search_on_opamp2() {
+    let problem = TwoStageOpAmp::new(TechNode::n180());
+    let mut kato_best = Vec::new();
+    let mut rs_best = Vec::new();
+    for seed in [5u64, 17] {
+        let mut s = BoSettings::quick(55, seed);
+        s.n_init = 20;
+        let kato = Kato::new(s.clone()).run(&problem, Mode::Constrained);
+        let rs = RandomSearch::new(s).run(&problem, Mode::Constrained);
+        assert_eq!(kato.len(), 55);
+        assert_eq!(rs.len(), 55);
+        kato_best.push(kato.incumbent());
+        rs_best.push(rs.incumbent());
+    }
+    let kato_mean: f64 = kato_best.iter().sum::<f64>() / kato_best.len() as f64;
+    let rs_mean: f64 = rs_best.iter().filter(|v| v.is_finite()).sum::<f64>()
+        / rs_best.iter().filter(|v| v.is_finite()).count().max(1) as f64;
+    assert!(
+        kato_mean > rs_mean,
+        "KATO ({kato_mean}) must beat RS ({rs_mean}) at equal budget"
+    );
+}
+
+#[test]
+fn kato_fom_mode_improves_monotonically_and_terminates() {
+    let problem = TwoStageOpAmp::new(TechNode::n180());
+    let fom = FomSpec::calibrate(&problem, 100, 3);
+    let h = Kato::new(BoSettings::quick(40, 2)).run(&problem, Mode::Fom(fom));
+    assert_eq!(h.len(), 40);
+    let curve = h.best_curve();
+    for w in curve.windows(2) {
+        assert!(w[1] >= w[0], "best-so-far must be monotone");
+    }
+    assert!(curve[39] > curve[9], "BO phase must improve over init");
+}
+
+#[test]
+fn run_history_records_feasibility_consistently() {
+    let problem = TwoStageOpAmp::new(TechNode::n180());
+    let mut s = BoSettings::quick(30, 11);
+    s.n_init = 15;
+    let h = Kato::new(s).run(&problem, Mode::Constrained);
+    for e in &h.evals {
+        assert_eq!(e.feasible, e.metrics.feasible(problem.specs()));
+        if e.feasible {
+            assert!(e.score.is_finite());
+        } else {
+            assert_eq!(e.score, f64::NEG_INFINITY);
+        }
+    }
+}
