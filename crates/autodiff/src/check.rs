@@ -66,9 +66,7 @@ mod tests {
 
     #[test]
     fn tape_gradient_passes_check_on_rosenbrock() {
-        let rosen = |p: &[f64]| {
-            (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2)
-        };
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
         let x = [0.3, -0.7];
         let tape = Tape::new();
         let a = tape.var(x[0]);

@@ -1,6 +1,6 @@
-use crate::Var;
 #[cfg(test)]
 use crate::Tape;
+use crate::Var;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// Write-once numeric abstraction over plain `f64` and taped [`Var`].

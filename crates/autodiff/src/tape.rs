@@ -417,10 +417,7 @@ impl<'t> Mul<Var<'t>> for f64 {
 impl<'t> Div<Var<'t>> for f64 {
     type Output = Var<'t>;
     fn div(self, rhs: Var<'t>) -> Var<'t> {
-        rhs.unary(
-            self / rhs.value,
-            -self / (rhs.value * rhs.value),
-        )
+        rhs.unary(self / rhs.value, -self / (rhs.value * rhs.value))
     }
 }
 

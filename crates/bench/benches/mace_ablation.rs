@@ -20,8 +20,7 @@ fn fitted_stack() -> (TwoStageOpAmp, MetricModels, f64) {
         history.evaluate_and_push(&problem, &Mode::Constrained, x);
     }
     let xs: Vec<Vec<f64>> = history.evals.iter().map(|e| e.x.clone()).collect();
-    let refs: Vec<&kato_circuits::Metrics> =
-        history.evals.iter().map(|e| &e.metrics).collect();
+    let refs: Vec<&kato_circuits::Metrics> = history.evals.iter().map(|e| &e.metrics).collect();
     let cols = metric_columns(&refs);
     let cfg = ModelConfig {
         gp: GpConfig {
@@ -31,8 +30,7 @@ fn fitted_stack() -> (TwoStageOpAmp, MetricModels, f64) {
         kat: KatConfig::fast(),
         ..ModelConfig::default()
     };
-    let models =
-        MetricModels::fit_gp(problem.dim(), &xs, &cols, problem.specs(), &cfg).unwrap();
+    let models = MetricModels::fit_gp(problem.dim(), &xs, &cols, problem.specs(), &cfg).unwrap();
     // Soft incumbent (nothing may be feasible in 30 random samples).
     let incumbent = history
         .evals

@@ -11,7 +11,10 @@ use std::time::Instant;
 fn main() {
     let profile = Profile::from_args();
     let problem = TwoStageOpAmp::new(TechNode::n180());
-    println!("=== Ablation (paper 3.3): full vs modified MACE on {} ===", problem.name());
+    println!(
+        "=== Ablation (paper 3.3): full vs modified MACE on {} ===",
+        problem.name()
+    );
 
     let mut rows = Vec::new();
     for (variant, label) in [
@@ -42,7 +45,11 @@ fn main() {
         );
         rows.push(format!("{label},{mean:.4},{std:.4},{wall:.3}"));
     }
-    write_csv("ablation_mace.csv", "variant,final_mean,final_std,wall_s", &rows);
+    write_csv(
+        "ablation_mace.csv",
+        "variant,final_mean,final_std,wall_s",
+        &rows,
+    );
     println!("\nExpected shape: comparable final scores; the 3-objective search is cheaper");
     println!("(NSGA-II front complexity grows exponentially with objective count).");
 }

@@ -36,7 +36,10 @@ fn main() {
     let kernels: Vec<(&str, KernelSpec)> = vec![
         ("Neuk", KernelSpec::neuk(problem.dim())),
         ("ARD-RBF", KernelSpec::ard_rbf(problem.dim())),
-        ("RBF-only", single_primitive(problem.dim(), PrimitiveKernel::Rbf)),
+        (
+            "RBF-only",
+            single_primitive(problem.dim(), PrimitiveKernel::Rbf),
+        ),
         (
             "RQ-only",
             single_primitive(problem.dim(), PrimitiveKernel::RationalQuadratic),

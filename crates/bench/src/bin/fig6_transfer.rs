@@ -55,7 +55,10 @@ fn run_panel(panel: &str, source_key: &str, target_key: &str, profile: &Profile)
         &format!("fig6_{panel}.csv"),
     );
     if tl_sims > 0.0 {
-        println!("  speed-up to plain-KATO final best: {:.2}x", plain_sims / tl_sims);
+        println!(
+            "  speed-up to plain-KATO final best: {:.2}x",
+            plain_sims / tl_sims
+        );
     }
 }
 
@@ -101,21 +104,19 @@ fn tlmbo_comparison(profile: &Profile) {
 
 fn main() {
     let profile = Profile::from_args();
-    let only: Option<String> = std::env::args()
-        .skip_while(|a| a != "--panel")
-        .nth(1);
+    let only: Option<String> = std::env::args().skip_while(|a| a != "--panel").nth(1);
     println!(
         "Fig. 6 reproduction — profile: {} ({} seeds)",
         if profile.full { "FULL" } else { "quick" },
         profile.seeds.len()
     );
     let panels: [(&str, &str, &str); 6] = [
-        ("a", "opamp2_180nm", "opamp2_40nm"),  // node transfer
-        ("b", "opamp3_180nm", "opamp3_40nm"),  // node transfer
-        ("c", "opamp3_40nm", "opamp2_40nm"),   // topology transfer
-        ("d", "opamp2_40nm", "opamp3_40nm"),   // topology transfer
-        ("e", "opamp3_180nm", "opamp2_40nm"),  // topology + node
-        ("f", "opamp2_180nm", "opamp3_40nm"),  // topology + node
+        ("a", "opamp2_180nm", "opamp2_40nm"), // node transfer
+        ("b", "opamp3_180nm", "opamp3_40nm"), // node transfer
+        ("c", "opamp3_40nm", "opamp2_40nm"),  // topology transfer
+        ("d", "opamp2_40nm", "opamp3_40nm"),  // topology transfer
+        ("e", "opamp3_180nm", "opamp2_40nm"), // topology + node
+        ("f", "opamp2_180nm", "opamp3_40nm"), // topology + node
     ];
     for (p, src, tgt) in panels {
         if only.as_deref().is_none_or(|o| o == p) {

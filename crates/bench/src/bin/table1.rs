@@ -26,6 +26,9 @@ fn best_metrics(runs: &[RunHistory]) -> Option<Metrics> {
         .map(|e| e.metrics.clone())
 }
 
+/// A named optimizer launcher: seed in, full run history out.
+type MethodRunner<'a> = Box<dyn Fn(u64) -> RunHistory + 'a>;
+
 fn run_circuit(problem: &dyn SizingProblem, profile: &Profile, rows: &mut Vec<String>) {
     println!("\n--- {} ---", problem.name());
     let names = problem.metric_names().join(" / ");
@@ -44,7 +47,7 @@ fn run_circuit(problem: &dyn SizingProblem, profile: &Profile, rows: &mut Vec<St
             .join(",")
     ));
 
-    let methods: Vec<(&str, Box<dyn Fn(u64) -> RunHistory + '_>)> = vec![
+    let methods: Vec<(&str, MethodRunner)> = vec![
         (
             "MESMOC",
             Box::new(|seed| Mesmoc::new(settings(profile, seed)).run(problem, Mode::Constrained)),

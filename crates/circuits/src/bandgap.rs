@@ -1,8 +1,6 @@
 use crate::problem::{Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
 use crate::tech::TechNode;
-use kato_mna::{
-    mos_iv_public, AcSweep, Circuit, DcOptions, DiodeModel, MosType, NodeId,
-};
+use kato_mna::{mos_iv_public, AcSweep, Circuit, DcOptions, DiodeModel, MosType, NodeId};
 
 /// ΔVBE/R bandgap voltage reference (paper Fig. 3c, condensed core).
 ///
@@ -93,7 +91,6 @@ impl Bandgap {
     pub fn debug_dc(&self, x: &[f64]) -> Option<String> {
         self.debug_dc_at(x, 27.0)
     }
-
 
     /// Debug helper: raw DC result (including the error) at one temperature.
     ///
@@ -254,19 +251,19 @@ impl Bandgap {
         let vdd = self.node.vdd;
         let vbe = 0.62 - 1.9e-3 * (temp_c - 27.0);
         vec![
-            0.0,               // ground
-            vdd,               // vdd
-            vdd - 0.55,        // ne (mirror gates)
-            vbe,               // na
-            vbe,               // nb
-            vbe - 0.05,        // nq
-            vdd - 0.20,        // nx
-            vbe + 0.5,         // vref
-            vbe,               // nm
-            vdd - 1.0_f64.min(vdd * 0.8), // nbias
+            0.0,                                     // ground
+            vdd,                                     // vdd
+            vdd - 0.55,                              // ne (mirror gates)
+            vbe,                                     // na
+            vbe,                                     // nb
+            vbe - 0.05,                              // nq
+            vdd - 0.20,                              // nx
+            vbe + 0.5,                               // vref
+            vbe,                                     // nm
+            vdd - 1.0_f64.min(vdd * 0.8),            // nbias
             vdd - (0.95 * vdd / 1.8).min(vdd - 0.1), // ncas
-            vdd - 0.20,        // nxa
-            vdd - 0.20,        // nxb
+            vdd - 0.20,                              // nxa
+            vdd - 0.20,                              // nxb
         ]
     }
 }

@@ -292,7 +292,9 @@ mod tests {
     #[test]
     fn node_40nm_has_less_gain_than_180nm() {
         let x = vec![0.5; 8];
-        let g180 = TwoStageOpAmp::new(TechNode::n180()).evaluate(&x).get(M_GAIN);
+        let g180 = TwoStageOpAmp::new(TechNode::n180())
+            .evaluate(&x)
+            .get(M_GAIN);
         let g40 = TwoStageOpAmp::new(TechNode::n40()).evaluate(&x).get(M_GAIN);
         assert!(
             g180 > g40,

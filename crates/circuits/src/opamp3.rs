@@ -217,7 +217,9 @@ impl SizingProblem for ThreeStageOpAmp {
         // 180 nm: I ≈ 419 µA, gain 118 dB, PM 74°, GBW 25 MHz.
         // 40 nm:  I ≈ 231 µA, gain 81 dB, PM 82°, GBW 37 MHz.
         match self.node.name {
-            "40nm" => vec![0.406, 0.726, 0.976, 0.723, 0.454, 0.263, 0.601, 0.912, 0.323],
+            "40nm" => vec![
+                0.406, 0.726, 0.976, 0.723, 0.454, 0.263, 0.601, 0.912, 0.323,
+            ],
             _ => vec![0.662, 0.827, 0.628, 0.7, 0.78, 0.895, 0.809, 0.996, 0.503],
         }
     }
@@ -241,7 +243,9 @@ mod tests {
         let x2 = vec![0.5; 8];
         let x3 = vec![0.5; 9];
         let g2 = TwoStageOpAmp::new(TechNode::n180()).evaluate(&x2).get(1);
-        let g3 = ThreeStageOpAmp::new(TechNode::n180()).evaluate(&x3).get(M_GAIN);
+        let g3 = ThreeStageOpAmp::new(TechNode::n180())
+            .evaluate(&x3)
+            .get(M_GAIN);
         assert!(
             g3 > g2 + 10.0,
             "an extra gain stage must add gain: {g2} vs {g3}"

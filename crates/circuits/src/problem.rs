@@ -141,9 +141,7 @@ impl Metrics {
     /// `true` when every constraint in `specs` is met.
     #[must_use]
     pub fn feasible(&self, specs: &[Spec]) -> bool {
-        specs
-            .iter()
-            .all(|s| s.margin(self.values[s.metric]) >= 0.0)
+        specs.iter().all(|s| s.margin(self.values[s.metric]) >= 0.0)
     }
 
     /// Total constraint violation (sum of negative margins, ≥ 0).

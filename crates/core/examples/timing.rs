@@ -1,5 +1,5 @@
 use kato::{BoSettings, Kato, Mode};
-use kato_circuits::{SizingProblem, TechNode, TwoStageOpAmp};
+use kato_circuits::{TechNode, TwoStageOpAmp};
 use std::time::Instant;
 
 fn main() {
@@ -8,7 +8,11 @@ fn main() {
     let mut s = BoSettings::quick(60, 1);
     s.n_init = 20;
     let h = Kato::new(s).run(&p, Mode::Constrained);
-    println!("KATO 60 sims: {:?}, best = {:?}", t0.elapsed(), h.best().map(|b| b.metrics.values().to_vec()));
+    println!(
+        "KATO 60 sims: {:?}, best = {:?}",
+        t0.elapsed(),
+        h.best().map(|b| b.metrics.values().to_vec())
+    );
     let curve = h.best_curve();
     println!("curve[20]={:.2} curve[59]={:.2}", curve[20], curve[59]);
 }

@@ -104,8 +104,7 @@ impl MaceOptimizer {
             iteration += 1;
             let incumbent = acquisition_incumbent(&history, problem, &mode);
             let warm = warm_starts(&history, 5);
-            let front =
-                proposer.pareto_front(&models, dim, incumbent, s, iteration, &warm);
+            let front = proposer.pareto_front(&models, dim, incumbent, s, iteration, &warm);
             let mut prop_rng = StdRng::seed_from_u64(s.seed.wrapping_add(700 + iteration));
             let batch = MaceProposer::sample_batch(
                 &front,
@@ -254,8 +253,8 @@ impl Mesmoc {
                 .iter()
                 .map(|&(m, v)| m + 2.0 * v.sqrt())
                 .fold(f64::NEG_INFINITY, f64::max);
-            let spread = stats::std_dev(&post.iter().map(|&(m, _)| m).collect::<Vec<_>>())
-                .max(1e-6);
+            let spread =
+                stats::std_dev(&post.iter().map(|&(m, _)| m).collect::<Vec<_>>()).max(1e-6);
             let maxima: Vec<f64> = (0..self.n_max_samples)
                 .map(|_| {
                     let u: f64 = rng.gen_range(1e-6..1.0 - 1e-6);
@@ -263,8 +262,9 @@ impl Mesmoc {
                 })
                 .collect();
 
-            let candidates: Vec<Vec<f64>> =
-                (0..self.pool).map(|_| random_design(dim, &mut rng)).collect();
+            let candidates: Vec<Vec<f64>> = (0..self.pool)
+                .map(|_| random_design(dim, &mut rng))
+                .collect();
             let mut scored: Vec<(f64, usize)> = candidates
                 .iter()
                 .enumerate()
@@ -343,8 +343,9 @@ impl Usemoc {
 
         while history.len() < s.budget {
             let incumbent = acquisition_incumbent(&history, problem, &mode);
-            let candidates: Vec<Vec<f64>> =
-                (0..self.pool).map(|_| random_design(dim, &mut rng)).collect();
+            let candidates: Vec<Vec<f64>> = (0..self.pool)
+                .map(|_| random_design(dim, &mut rng))
+                .collect();
             let mut scored: Vec<(f64, usize)> = candidates
                 .iter()
                 .enumerate()
@@ -437,12 +438,7 @@ impl Tlmbo {
             let mut ys = cols[0].clone();
             // Append copula-aligned source pseudo-observations.
             let aligned = self.transform_source(&ys);
-            for (x, y) in self
-                .source_xs
-                .iter()
-                .zip(&aligned)
-                .take(self.max_source)
-            {
+            for (x, y) in self.source_xs.iter().zip(&aligned).take(self.max_source) {
                 xs.push(x.clone());
                 ys.push(*y);
             }
@@ -454,25 +450,15 @@ impl Tlmbo {
                 neuk: false,
                 ..ModelConfig::default()
             };
-            let Ok(models) = MetricModels::fit_gp(
-                dim,
-                &xs,
-                &[ys],
-                &crate::model::fom_specs(),
-                &model_cfg,
-            ) else {
+            let Ok(models) =
+                MetricModels::fit_gp(dim, &xs, &[ys], &crate::model::fom_specs(), &model_cfg)
+            else {
                 return fill_random(history, problem, &mode, s, &mut rng);
             };
             let incumbent = acquisition_incumbent(&history, problem, &mode);
             let warm = warm_starts(&history, 5);
-            let front = proposer.pareto_front(
-                &models,
-                dim,
-                incumbent,
-                s,
-                history.len() as u64,
-                &warm,
-            );
+            let front =
+                proposer.pareto_front(&models, dim, incumbent, s, history.len() as u64, &warm);
             let mut prop_rng =
                 StdRng::seed_from_u64(s.seed.wrapping_add(500 + history.len() as u64));
             let batch = MaceProposer::sample_batch(

@@ -55,7 +55,9 @@ impl RunHistory {
             Mode::Fom(fom) => fom.fom(&metrics),
             Mode::Constrained => {
                 if feasible {
-                    metrics.objective(problem.specs()).unwrap_or(f64::NEG_INFINITY)
+                    metrics
+                        .objective(problem.specs())
+                        .unwrap_or(f64::NEG_INFINITY)
                 } else {
                     f64::NEG_INFINITY
                 }

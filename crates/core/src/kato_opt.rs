@@ -144,8 +144,7 @@ impl Kato {
         };
         let specs = modelled_specs(problem, &mode);
         let (xs, cols) = training_view(&history, &mode);
-        let Ok(mut neuk_models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg)
-        else {
+        let Ok(mut neuk_models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
             return fill_random(history, problem, &mode, s, &mut rng);
         };
 
@@ -387,7 +386,9 @@ mod tests {
         let toy = Toy::new();
         let source = SourceData::from_problem_random(&toy, 40, 5);
         let settings = BoSettings::quick(30, 3);
-        let h = Kato::new(settings).with_source(source).run(&toy, Mode::Constrained);
+        let h = Kato::new(settings)
+            .with_source(source)
+            .run(&toy, Mode::Constrained);
         assert_eq!(h.len(), 30);
         assert!(h.method.contains("KATO+TL"));
         assert!(h.best().is_some());

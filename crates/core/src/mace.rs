@@ -209,10 +209,7 @@ mod tests {
         let full = MaceProposer::new(MaceVariant::Full);
         let modified = MaceProposer::new(MaceVariant::Modified);
         assert_eq!(full.objectives(&models, &[0.5, 0.5], inc, 2.0).len(), 6);
-        assert_eq!(
-            modified.objectives(&models, &[0.5, 0.5], inc, 2.0).len(),
-            3
-        );
+        assert_eq!(modified.objectives(&models, &[0.5, 0.5], inc, 2.0).len(), 3);
         assert_eq!(MaceVariant::Full.objective_count(), 6);
         assert_eq!(MaceVariant::Modified.objective_count(), 3);
     }
@@ -267,6 +264,9 @@ mod tests {
             .map(|x| ((x[0] - 0.7).powi(2) + (x[1] - 0.3).powi(2)).sqrt())
             .sum::<f64>()
             / batch.len() as f64;
-        assert!(mean_dist < 0.55, "batch mean distance to optimum {mean_dist}");
+        assert!(
+            mean_dist < 0.55,
+            "batch mean distance to optimum {mean_dist}"
+        );
     }
 }

@@ -365,8 +365,7 @@ mod tests {
         // Source has only 2 columns → third target column falls back to GP.
         let sources = fit_source_gps(2, &xs, &cols[..2], &cfg).unwrap();
         assert_eq!(sources.len(), 2);
-        let models =
-            MetricModels::fit_kat(2, &sources, &xs, &cols, &toy_specs(), &cfg).unwrap();
+        let models = MetricModels::fit_kat(2, &sources, &xs, &cols, &toy_specs(), &cfg).unwrap();
         assert!(matches!(models.models()[0], Model::Kat(_)));
         assert!(matches!(models.models()[2], Model::Gp(_)));
         let (m, v) = models.objective_posterior(&[0.4, 0.6]);

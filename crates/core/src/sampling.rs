@@ -100,9 +100,7 @@ mod tests {
         let single = latin_hypercube(12, 2, &mut rng);
         let mut rng2 = StdRng::seed_from_u64(2);
         let multi = latin_hypercube_maximin(12, 2, 8, &mut rng2);
-        assert!(
-            min_pairwise_distance(&multi) >= min_pairwise_distance(&single) - 1e-12
-        );
+        assert!(min_pairwise_distance(&multi) >= min_pairwise_distance(&single) - 1e-12);
     }
 
     #[test]

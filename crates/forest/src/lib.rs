@@ -131,10 +131,10 @@ impl Tree {
                 let nr = (idx.len() - k - 1) as f64;
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sqs - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 let gain = total_sq - sse;
-                if best.map_or(true, |(b, _, _)| gain > b) && gain > 1e-12 {
+                if best.is_none_or(|(b, _, _)| gain > b) && gain > 1e-12 {
                     let thr = 0.5 * (xs[idx[k]][f] + xs[idx[k + 1]][f]);
                     best = Some((gain, f, thr));
                 }
@@ -176,7 +176,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -248,8 +252,7 @@ impl RandomForest {
             .map(|(t, root)| t.predict(x, *root))
             .collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
-            / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
         (mean, var.max(1e-12))
     }
 

@@ -24,7 +24,10 @@ impl fmt::Display for GpError {
         match self {
             GpError::BadTrainingData { what } => write!(f, "bad training data: {what}"),
             GpError::GramNotPd => {
-                write!(f, "gram matrix not positive definite despite noise escalation")
+                write!(
+                    f,
+                    "gram matrix not positive definite despite noise escalation"
+                )
             }
             GpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }

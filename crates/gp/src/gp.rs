@@ -486,7 +486,7 @@ mod tests {
         // Validate the B-matrix trick end to end on a tiny problem: compare
         // dL/dθ from the tape against numeric differentiation of the exact
         // log-likelihood.
-        let xs = vec![vec![0.0], vec![0.4], vec![1.0]];
+        let xs = [vec![0.0], vec![0.4], vec![1.0]];
         let ys = vec![0.1, 0.9, -0.3];
         let kernel = KernelSpec::ard_rbf(1);
         let params = vec![0.2, -0.1];

@@ -22,6 +22,11 @@ pub struct KatConfig {
     pub seed: u64,
     /// Gradient-norm clip.
     pub grad_clip: f64,
+    /// Independent random initialisations of the alignment; the restart
+    /// with the best training log-likelihood wins. The MLP encoder/decoder
+    /// landscape has mean-prediction local optima that a single unlucky
+    /// init can get stuck in.
+    pub restarts: usize,
 }
 
 impl Default for KatConfig {
@@ -33,6 +38,7 @@ impl Default for KatConfig {
             target_subsample: 150,
             seed: 0,
             grad_clip: 50.0,
+            restarts: 3,
         }
     }
 }
@@ -45,6 +51,7 @@ impl KatConfig {
             train_iters: 25,
             source_subsample: 40,
             target_subsample: 60,
+            restarts: 2,
             ..KatConfig::default()
         }
     }
@@ -212,8 +219,6 @@ impl KatGp {
 
         let encoder = MlpSpec::kat(target_dim, kernel.input_dim());
         let decoder = ScalarMlp::new(32);
-        let enc_params = encoder.init_params(&mut rng);
-        let dec_params = decoder.init_near_identity(&mut rng);
 
         let mut kat = KatGp {
             kernel,
@@ -222,15 +227,51 @@ impl KatGp {
             alpha_src,
             chol_src,
             encoder,
-            enc_params,
+            enc_params: Vec::new(),
             decoder,
-            dec_params,
+            dec_params: Vec::new(),
             log_noise: (0.2_f64).ln(),
             x_scaler: Scaler::fit(x_t),
             y_scaler: Scaler::fit_scalar(y_t),
             target_dim,
         };
-        kat.train(x_t, y_t, config)?;
+        // Multi-restart: only the alignment parameters differ per restart
+        // (the frozen source state and scalers are shared), so track the
+        // winner as (log-likelihood, params) rather than whole models.
+        let mut best: Option<(f64, Vec<f64>, Vec<f64>, f64)> = None;
+        for restart in 0..config.restarts.max(1) {
+            // Restart seeds collide only if (seed+1000)·Δr wraps to 0 for
+            // some Δr < restarts, i.e. seed+1000 shares a 2^63-scale factor
+            // with 2^64 — unreachable for the small seeds this codebase
+            // derives (metric-column offsets, demo seeds).
+            let mut init_rng = StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_add(1000)
+                    .wrapping_mul(restart as u64 + 1),
+            );
+            let rng = if restart == 0 {
+                &mut rng
+            } else {
+                &mut init_rng
+            };
+            kat.enc_params = kat.encoder.init_params(rng);
+            kat.dec_params = kat.decoder.init_near_identity(rng);
+            kat.log_noise = (0.2_f64).ln();
+            let ll = kat.train(x_t, y_t, config)?;
+            if best.as_ref().is_none_or(|(b, ..)| ll > *b) {
+                best = Some((
+                    ll,
+                    kat.enc_params.clone(),
+                    kat.dec_params.clone(),
+                    kat.log_noise,
+                ));
+            }
+        }
+        let (_, enc, dec, noise) = best.expect("restarts >= 1");
+        kat.enc_params = enc;
+        kat.dec_params = dec;
+        kat.log_noise = noise;
         Ok(kat)
     }
 
@@ -253,7 +294,7 @@ impl KatGp {
         }
         self.x_scaler = Scaler::fit(x_t);
         self.y_scaler = Scaler::fit_scalar(y_t);
-        self.train(x_t, y_t, config)
+        self.train(x_t, y_t, config).map(|_| ())
     }
 
     /// Target input dimensionality.
@@ -270,12 +311,7 @@ impl KatGp {
 
     /// Generic predictive pipeline in standardised target coordinates.
     /// Returns `(µ_t_std, σ²_t_std)` **without** observation noise.
-    fn predictive<S: Scalar>(
-        &self,
-        enc_params: &[S],
-        dec_params: &[S],
-        x_t_std: &[S],
-    ) -> (S, S) {
+    fn predictive<S: Scalar>(&self, enc_params: &[S], dec_params: &[S], x_t_std: &[S]) -> (S, S) {
         let ctx = x_t_std[0];
         // Encode into the source design space.
         let u = self.encoder.forward(enc_params, x_t_std);
@@ -313,8 +349,9 @@ impl KatGp {
         (mu_t, v_t)
     }
 
-    /// Adam loop maximising Eq. 12.
-    fn train(&mut self, x_t: &[Vec<f64>], y_t: &[f64], config: &KatConfig) -> Result<(), GpError> {
+    /// Adam loop maximising Eq. 12. Returns the best training
+    /// log-likelihood encountered (the parameters the model keeps).
+    fn train(&mut self, x_t: &[Vec<f64>], y_t: &[f64], config: &KatConfig) -> Result<f64, GpError> {
         let xs_std: Vec<Vec<f64>> = x_t.iter().map(|r| self.x_scaler.transform(r)).collect();
         let ys_std: Vec<f64> = y_t
             .iter()
@@ -393,12 +430,13 @@ impl KatGp {
                 *p = p.clamp(-20.0, 20.0);
             }
         }
-        if best.0 > f64::NEG_INFINITY {
+        let best_ll = best.0;
+        if best_ll > f64::NEG_INFINITY {
             self.enc_params = best.1;
             self.dec_params = best.2;
             self.log_noise = best.3;
         }
-        Ok(())
+        Ok(best_ll)
     }
 
     /// Posterior mean and variance at a raw target design vector.

@@ -146,18 +146,14 @@ impl NeukSpec {
             for _ in 0..(self.latent_dim * self.input_dim) {
                 p.push(rng.gen_range(-1.0..1.0) * scale);
             }
-            for _ in 0..self.latent_dim {
-                p.push(0.0);
-            }
+            p.extend(std::iter::repeat_n(0.0, self.latent_dim));
             p.extend(prim.default_internal_params());
         }
         for _ in 0..(self.mix_dim * self.primitives.len()) {
             // softplus(-1.0) ≈ 0.31: gentle initial mixing.
             p.push(-1.0 + rng.gen_range(-0.2..0.2));
         }
-        for _ in 0..self.mix_dim {
-            p.push(0.0);
-        }
+        p.extend(std::iter::repeat_n(0.0, self.mix_dim));
         p.push(0.0); // b_k → amplitude e^0 = 1 on standardized outputs
         p
     }
@@ -306,9 +302,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn gram(spec: &KernelSpec, params: &[f64], xs: &[Vec<f64>]) -> Matrix {
-        Matrix::from_fn(xs.len(), xs.len(), |i, j| {
-            spec.eval(params, &xs[i], &xs[j])
-        })
+        Matrix::from_fn(xs.len(), xs.len(), |i, j| spec.eval(params, &xs[i], &xs[j]))
     }
 
     fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {

@@ -35,7 +35,10 @@ impl MlpSpec {
     /// Panics if fewer than two sizes are given or any size is zero.
     #[must_use]
     pub fn new(sizes: &[usize]) -> Self {
-        assert!(sizes.len() >= 2, "MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "MLP needs at least input and output sizes"
+        );
         assert!(sizes.iter().all(|&s| s > 0), "zero-width layer");
         MlpSpec {
             sizes: sizes.to_vec(),
@@ -63,10 +66,7 @@ impl MlpSpec {
     /// Total number of parameters (weights + biases).
     #[must_use]
     pub fn param_count(&self) -> usize {
-        self.sizes
-            .windows(2)
-            .map(|w| w[0] * w[1] + w[1])
-            .sum()
+        self.sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
     }
 
     /// Xavier-style random initialisation.
@@ -78,9 +78,7 @@ impl MlpSpec {
             for _ in 0..(n_in * n_out) {
                 params.push(rng.gen_range(-1.0..1.0) * scale);
             }
-            for _ in 0..n_out {
-                params.push(0.0);
-            }
+            params.extend(std::iter::repeat_n(0.0, n_out));
         }
         params
     }

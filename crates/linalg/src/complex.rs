@@ -128,6 +128,8 @@ impl Mul<f64> for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Division by multiplying with the reciprocal is the intended formula.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Complex64) -> Complex64 {
         self * o.recip()
     }

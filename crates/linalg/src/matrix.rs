@@ -66,7 +66,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -198,9 +202,7 @@ impl Matrix {
                 actual: v.len(),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| crate::dot(self.row(i), v))
-            .collect())
+        Ok((0..self.rows).map(|i| crate::dot(self.row(i), v)).collect())
     }
 
     /// Scales every entry by `s` in place and returns `self` for chaining.
@@ -257,14 +259,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -373,7 +381,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -416,7 +416,9 @@ mod tests {
         ckt.vccs(vout, Circuit::GND, vin, Circuit::GND, 1e-3);
         ckt.resistor(vout, Circuit::GND, 100_000.0); // A0 = 100 = 40 dB
         ckt.capacitor(vout, Circuit::GND, 1e-9); // fp ≈ 1.59 kHz
-        let bode = ckt.ac_transfer(vout, &AcSweep::log(10.0, 1e7, 121)).unwrap();
+        let bode = ckt
+            .ac_transfer(vout, &AcSweep::log(10.0, 1e7, 121))
+            .unwrap();
         let m1 = bode.interpolate_mag_db(100e3);
         let m2 = bode.interpolate_mag_db(1e6);
         assert!(((m1 - m2) - 20.0).abs() < 0.5, "rolloff {}", m1 - m2);
@@ -449,7 +451,8 @@ mod tests {
         // Compute expected gain from the linearised model directly.
         let vgs = 0.9 - 0.0;
         let vds = dc.voltage(drain);
-        let (_, gm, gds) = crate::netlist::mos_iv(&MosModel::generic(), 20e-6, 1e-6, vgs, vds, 27.0);
+        let (_, gm, gds) =
+            crate::netlist::mos_iv(&MosModel::generic(), 20e-6, 1e-6, vgs, vds, 27.0);
         let expected = gm / (gds + 1.0 / 20_000.0);
         let measured = 10f64.powf(bode.dc_gain_db() / 20.0);
         assert!(

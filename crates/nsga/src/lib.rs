@@ -275,9 +275,7 @@ fn select(objs: &[Vec<f64>], k: usize) -> Vec<usize> {
         } else {
             let dist = crowding_distance(objs, &front);
             let mut order: Vec<usize> = (0..front.len()).collect();
-            order.sort_by(|&a, &b| {
-                dist[b].partial_cmp(&dist[a]).expect("NaN crowding")
-            });
+            order.sort_by(|&a, &b| dist[b].partial_cmp(&dist[a]).expect("NaN crowding"));
             for &w in order.iter().take(k - out.len()) {
                 out.push(front[w]);
             }
@@ -288,13 +286,7 @@ fn select(objs: &[Vec<f64>], k: usize) -> Vec<usize> {
 }
 
 /// Simulated binary crossover (SBX) on `[0,1]` boxes.
-fn sbx(
-    p1: &[f64],
-    p2: &[f64],
-    prob: f64,
-    eta: f64,
-    rng: &mut StdRng,
-) -> (Vec<f64>, Vec<f64>) {
+fn sbx(p1: &[f64], p2: &[f64], prob: f64, eta: f64, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
     let mut c1 = p1.to_vec();
     let mut c2 = p2.to_vec();
     if rng.gen::<f64>() < prob {
@@ -380,10 +372,13 @@ mod tests {
             ..Nsga2Config::default()
         })
         .run(|x| vec![-(x[0] - 0.7) * (x[0] - 0.7)]);
-        let best = front
-            .iter()
-            .map(|p| p.x[0])
-            .fold(0.0, |acc, v| if (v - 0.7).abs() < (acc - 0.7_f64).abs() { v } else { acc });
+        let best = front.iter().map(|p| p.x[0]).fold(0.0, |acc, v| {
+            if (v - 0.7).abs() < (acc - 0.7_f64).abs() {
+                v
+            } else {
+                acc
+            }
+        });
         assert!((best - 0.7).abs() < 0.02, "best {best}");
     }
 

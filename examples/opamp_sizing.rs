@@ -26,7 +26,10 @@ fn main() {
         results.push(RandomSearch::new(s).run(&problem, Mode::Constrained));
     }
 
-    println!("{:<10}{:>6}{:>14}{:>10}", "method", "seed", "best I (uA)", "feasible");
+    println!(
+        "{:<10}{:>6}{:>14}{:>10}",
+        "method", "seed", "best I (uA)", "feasible"
+    );
     for h in &results {
         match h.best() {
             Some(b) => println!(

@@ -11,7 +11,11 @@ fn main() {
     // The paper's first benchmark: Miller two-stage OTA at 180 nm.
     // Spec (Eq. 15-like): minimise I_total s.t. gain/PM/GBW bounds.
     let problem = TwoStageOpAmp::new(TechNode::n180());
-    println!("problem: {} ({} design variables)", problem.name(), problem.dim());
+    println!(
+        "problem: {} ({} design variables)",
+        problem.name(),
+        problem.dim()
+    );
 
     // KATO = NeukGP + modified constrained MACE (no transfer here).
     let settings = BoSettings::quick(60, 42);

@@ -1,0 +1,114 @@
+//! Offline vendored shim of the `criterion` API surface used by this
+//! workspace: `Criterion::default().sample_size(n)`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so this replaces the
+//! real crate with a minimal wall-clock harness: each benchmark is warmed
+//! up briefly, then timed over `sample_size` samples, and the per-iteration
+//! median is printed. No statistical analysis, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count that makes a
+        // single sample take ~1ms so Instant overhead stays negligible.
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((1e-3 / once).ceil() as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<32} (no samples)");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(f64::total_cmp);
+        let median = s[s.len() / 2];
+        let lo = s[0];
+        let hi = s[s.len() - 1];
+        println!("{id:<32} time: [{lo:>12.1} ns {median:>12.1} ns {hi:>12.1} ns]");
+    }
+}
+
+/// Declares a function that runs a list of benchmark targets against a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

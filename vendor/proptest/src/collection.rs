@@ -1,0 +1,54 @@
+//! `proptest::collection::vec` — Vec strategy with fixed or ranged length.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize, // exclusive
+}
+
+/// Accepted as the size argument of [`vec`]: an exact length or a
+/// half-open/inclusive range of lengths.
+pub trait SizeRange {
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    assert!(min_len < max_len, "empty vec size range");
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.max_len - self.min_len) as u64;
+        let len = self.min_len + (rng.next_u64() % span.max(1)) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline vendored shim of the `proptest` API surface used by this
+//! workspace: the `proptest! { #[test] fn f(x in strategy, ..) { .. } }`
+//! macro, numeric range strategies, `proptest::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` assertions.
+//!
+//! The build environment has no access to crates.io, so this replaces the
+//! real crate. Differences from real proptest: inputs are sampled from a
+//! deterministic per-test RNG (seeded from the test name) rather than an
+//! entropy source, there is no shrinking, and failed assertions panic
+//! immediately with the standard assert messages. Each property runs
+//! [`test_runner::CASES`] cases.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Property-style assertion; in this shim it panics immediately (no
+/// shrinking), which still fails the surrounding `#[test]`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```
+/// proptest::proptest! {
+///     // In real code this carries `#[test]`; elided here so the doctest
+///     // (compiled without the test harness) keeps the function.
+///     fn sum_in_range(a in 0.0..1.0f64, b in 0.0..1.0f64) {
+///         proptest::prop_assert!((0.0..2.0).contains(&(a + b)));
+///     }
+/// }
+/// # fn main() { sum_in_range(); }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::test_runner::CASES {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}

@@ -1,0 +1,72 @@
+//! Concrete generators mirroring `rand::rngs`.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+fn seed_state(seed: u64) -> [u64; 4] {
+    let mut sm = seed;
+    [
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+        splitmix64(&mut sm),
+    ]
+}
+
+/// Default generator: xoshiro256++ (fast, 256-bit state, passes BigCrush).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            s: seed_state(seed),
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Small/fast generator: xoshiro256+ (lowest bits are weaker; we only hand
+/// out the top bits through `next_u32`/float conversion anyway).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            s: seed_state(seed),
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
