@@ -1,0 +1,89 @@
+//! Criterion bench backing the parallel batched inference engine: one MACE
+//! proposal (NSGA-II acquisition search) on opamp2 at 180 nm, scored
+//! point-by-point through `MaceProposer::objectives` (the pre-batching
+//! serial path) versus through the batched `run_batch` +
+//! `objectives_batch` path that `MaceProposer::pareto_front` now uses.
+//!
+//! The batched path amortises one Cholesky application across the whole
+//! NSGA-II population and fans kernel cross-rows out over the `kato_par`
+//! pool, so it should win even at `KATO_THREADS=1` and scale further with
+//! threads. Run with e.g. `KATO_THREADS=4 cargo bench --bench
+//! proposal_parallel`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kato::mace::{MaceProposer, MaceVariant};
+use kato::{metric_columns, BoSettings, MetricModels, Mode, ModelConfig, RunHistory};
+use kato_circuits::{random_design, SizingProblem, TechNode, TwoStageOpAmp};
+use kato_gp::{GpConfig, KatConfig};
+use kato_nsga::{Nsga2, Nsga2Config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fitted_stack() -> (TwoStageOpAmp, MetricModels, f64) {
+    let problem = TwoStageOpAmp::new(TechNode::n180());
+    let mut history = RunHistory::new("bench", "bench", 0);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..40 {
+        let x = random_design(problem.dim(), &mut rng);
+        history.evaluate_and_push(&problem, &Mode::Constrained, x);
+    }
+    let xs: Vec<Vec<f64>> = history.evals.iter().map(|e| e.x.clone()).collect();
+    let refs: Vec<&kato_circuits::Metrics> = history.evals.iter().map(|e| &e.metrics).collect();
+    let cols = metric_columns(&refs);
+    let cfg = ModelConfig {
+        gp: GpConfig {
+            train_iters: 10,
+            ..GpConfig::fast()
+        },
+        kat: KatConfig::fast(),
+        ..ModelConfig::default()
+    };
+    let models = MetricModels::fit_gp(problem.dim(), &xs, &cols, problem.specs(), &cfg).unwrap();
+    let incumbent = history
+        .evals
+        .iter()
+        .map(|e| {
+            e.metrics.objective(problem.specs()).unwrap_or(0.0)
+                - 10.0 * e.metrics.violation(problem.specs())
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    (problem, models, incumbent)
+}
+
+fn bench_serial_vs_batched(c: &mut Criterion) {
+    let (problem, models, incumbent) = fitted_stack();
+    let settings = BoSettings::quick(50, 1);
+    let proposer = MaceProposer::new(MaceVariant::Modified);
+    let nsga_cfg = || Nsga2Config {
+        dim: problem.dim(),
+        pop_size: settings.nsga_pop,
+        generations: settings.nsga_gens,
+        seed: settings.seed,
+        ..Nsga2Config::default()
+    };
+    // Pre-batching baseline: one O(n^2) posterior solve per candidate, all
+    // on one thread.
+    c.bench_function("mace_proposal_serial_pointwise", |b| {
+        b.iter(|| {
+            black_box(
+                Nsga2::new(nsga_cfg())
+                    .run(|x| proposer.objectives(&models, x, incumbent, settings.ucb_beta)),
+            )
+        })
+    });
+    // Batched + parallel: whole populations per surrogate call, fanned over
+    // KATO_THREADS workers (the path `pareto_front` uses in production).
+    c.bench_function("mace_proposal_batched_parallel", |b| {
+        b.iter(|| {
+            black_box(proposer.pareto_front(&models, problem.dim(), incumbent, &settings, 0, &[]))
+        })
+    });
+}
+
+criterion_group! {
+    name = proposal;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serial_vs_batched
+}
+criterion_main!(proposal);

@@ -3,7 +3,7 @@
 //! optimisation quality at lower acquisition-search cost.
 
 use kato::baselines::MaceOptimizer;
-use kato::{BoSettings, MaceVariant, Mode, RunHistory};
+use kato::{BoSettings, MaceVariant, Mode};
 use kato_bench::{final_stats, write_csv, Profile};
 use kato_circuits::{SizingProblem, TechNode, TwoStageOpAmp};
 use std::time::Instant;
@@ -21,22 +21,24 @@ fn main() {
         (MaceVariant::Full, "MACE-6obj"),
         (MaceVariant::Modified, "MACE-3obj"),
     ] {
-        let mut runs: Vec<RunHistory> = Vec::new();
-        let t0 = Instant::now();
-        for &seed in &profile.seeds {
+        // Time each run inside its own worker so the per-run cost stays
+        // honest when the seeds fan out in parallel (elapsed-total divided
+        // by seed count would under-report by the pool width).
+        let timed: Vec<(kato::RunHistory, f64)> = kato_par::par_map(&profile.seeds, |&seed| {
             let mut s = if profile.full {
                 BoSettings::paper(profile.budget + profile.n_init_con, seed)
             } else {
                 BoSettings::quick(profile.budget + profile.n_init_con, seed)
             };
             s.n_init = profile.n_init_con;
-            runs.push(
-                MaceOptimizer::new(s)
-                    .with_variant(variant, label)
-                    .run(&problem, Mode::Constrained),
-            );
-        }
-        let wall = t0.elapsed().as_secs_f64() / profile.seeds.len() as f64;
+            let t0 = Instant::now();
+            let h = MaceOptimizer::new(s)
+                .with_variant(variant, label)
+                .run(&problem, Mode::Constrained);
+            (h, t0.elapsed().as_secs_f64())
+        });
+        let wall = timed.iter().map(|(_, w)| w).sum::<f64>() / profile.seeds.len().max(1) as f64;
+        let runs: Vec<kato::RunHistory> = timed.into_iter().map(|(h, _)| h).collect();
         let (mean, std) = final_stats(&runs);
         println!(
             "{label:>10}: final best score {mean:9.3} +/- {std:6.3}   wall {wall:7.2}s/run \

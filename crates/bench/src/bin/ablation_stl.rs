@@ -2,8 +2,8 @@
 //! deliberately *mismatched* source (bandgap → two-stage op-amp). Forced
 //! transfer should suffer; STL should track the no-transfer baseline.
 
-use kato::{BoSettings, Kato, Mode, RunHistory, SourceData};
-use kato_bench::{final_stats, print_series, Profile};
+use kato::{BoSettings, Kato, Mode, SourceData};
+use kato_bench::{final_stats, print_series, run_seeds, Profile};
 use kato_circuits::{Bandgap, SizingProblem, TechNode, TwoStageOpAmp};
 
 fn main() {
@@ -16,33 +16,50 @@ fn main() {
         target.name()
     );
 
-    let mut none: Vec<RunHistory> = Vec::new();
-    let mut stl: Vec<RunHistory> = Vec::new();
-    let mut forced: Vec<RunHistory> = Vec::new();
-    for &seed in &profile.seeds {
+    let s_for = |seed: u64| {
         let mut s = if profile.full {
             BoSettings::paper(profile.budget + profile.n_init_con, seed)
         } else {
             BoSettings::quick(profile.budget + profile.n_init_con, seed)
         };
         s.n_init = profile.n_init_con;
-        let src =
-            SourceData::from_problem_random(&bad_source_problem, profile.source_n, seed ^ 0x33);
-        none.push(Kato::new(s.clone()).run(&target, Mode::Constrained));
-        stl.push(
-            Kato::new(s.clone())
-                .with_source(src.clone())
-                .with_label("KATO+STL(bad src)")
-                .run(&target, Mode::Constrained),
-        );
-        forced.push(
-            Kato::new(s)
-                .with_source(src)
-                .with_forced_transfer()
-                .with_label("KATO forced-TL(bad src)")
-                .run(&target, Mode::Constrained),
-        );
-    }
+        s
+    };
+    // One source archive per seed, shared by the STL and forced-transfer
+    // variants (built once instead of once per variant).
+    let sources: Vec<(u64, SourceData)> = profile
+        .seeds
+        .iter()
+        .map(|&seed| {
+            (
+                seed,
+                SourceData::from_problem_random(&bad_source_problem, profile.source_n, seed ^ 0x33),
+            )
+        })
+        .collect();
+    let src_for = |seed: u64| {
+        sources
+            .iter()
+            .find(|(s, _)| *s == seed)
+            .map(|(_, src)| src.clone())
+            .expect("source per seed")
+    };
+    let none = run_seeds(&profile.seeds, |seed| {
+        Kato::new(s_for(seed)).run(&target, Mode::Constrained)
+    });
+    let stl = run_seeds(&profile.seeds, |seed| {
+        Kato::new(s_for(seed))
+            .with_source(src_for(seed))
+            .with_label("KATO+STL(bad src)")
+            .run(&target, Mode::Constrained)
+    });
+    let forced = run_seeds(&profile.seeds, |seed| {
+        Kato::new(s_for(seed))
+            .with_source(src_for(seed))
+            .with_forced_transfer()
+            .with_label("KATO forced-TL(bad src)")
+            .run(&target, Mode::Constrained)
+    });
     print_series(
         "STL vs forced transfer vs no transfer (mismatched source)",
         &[

@@ -3,8 +3,8 @@
 //! best-FOM-so-far versus simulation count.
 
 use kato::baselines::{MaceOptimizer, RandomSearch, SmacRf};
-use kato::{BoSettings, Kato, Mode, RunHistory};
-use kato_bench::{print_series, Profile};
+use kato::{BoSettings, Kato, Mode};
+use kato_bench::{print_series, run_seeds, Profile};
 use kato_circuits::{Bandgap, FomSpec, SizingProblem, TechNode, ThreeStageOpAmp, TwoStageOpAmp};
 
 fn settings(profile: &Profile, seed: u64) -> BoSettings {
@@ -19,17 +19,20 @@ fn settings(profile: &Profile, seed: u64) -> BoSettings {
 
 fn run_panel(panel: &str, problem: &dyn SizingProblem, profile: &Profile) {
     let fom = FomSpec::calibrate(problem, profile.fom_samples, 2024);
-    let mut kato_runs: Vec<RunHistory> = Vec::new();
-    let mut mace_runs = Vec::new();
-    let mut smac_runs = Vec::new();
-    let mut rs_runs = Vec::new();
-    for &seed in &profile.seeds {
-        let s = settings(profile, seed);
-        kato_runs.push(Kato::new(s.clone()).run(problem, Mode::Fom(fom.clone())));
-        mace_runs.push(MaceOptimizer::new(s.clone()).run(problem, Mode::Fom(fom.clone())));
-        smac_runs.push(SmacRf::new(s.clone()).run(problem, Mode::Fom(fom.clone())));
-        rs_runs.push(RandomSearch::new(s).run(problem, Mode::Fom(fom.clone())));
-    }
+    // Seeds fan out across the kato_par pool; each seed's run is fully
+    // determined by its own settings, so the fan-out is order-stable.
+    let kato_runs = run_seeds(&profile.seeds, |seed| {
+        Kato::new(settings(profile, seed)).run(problem, Mode::Fom(fom.clone()))
+    });
+    let mace_runs = run_seeds(&profile.seeds, |seed| {
+        MaceOptimizer::new(settings(profile, seed)).run(problem, Mode::Fom(fom.clone()))
+    });
+    let smac_runs = run_seeds(&profile.seeds, |seed| {
+        SmacRf::new(settings(profile, seed)).run(problem, Mode::Fom(fom.clone()))
+    });
+    let rs_runs = run_seeds(&profile.seeds, |seed| {
+        RandomSearch::new(settings(profile, seed)).run(problem, Mode::Fom(fom.clone()))
+    });
     print_series(
         &format!("Fig. 4({panel}): FOM optimisation, {}", problem.name()),
         &[

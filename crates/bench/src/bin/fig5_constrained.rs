@@ -3,8 +3,8 @@
 //! objective versus simulation count.
 
 use kato::baselines::{MaceOptimizer, Mesmoc, Usemoc};
-use kato::{BoSettings, Kato, Mode, RunHistory};
-use kato_bench::{print_series, Profile};
+use kato::{BoSettings, Kato, Mode};
+use kato_bench::{print_series, run_seeds, Profile};
 use kato_circuits::{Bandgap, SizingProblem, TechNode, ThreeStageOpAmp, TwoStageOpAmp};
 
 fn settings(profile: &Profile, seed: u64) -> BoSettings {
@@ -18,17 +18,19 @@ fn settings(profile: &Profile, seed: u64) -> BoSettings {
 }
 
 fn run_panel(panel: &str, problem: &dyn SizingProblem, profile: &Profile) {
-    let mut kato_runs: Vec<RunHistory> = Vec::new();
-    let mut mace_runs = Vec::new();
-    let mut mesmoc_runs = Vec::new();
-    let mut usemoc_runs = Vec::new();
-    for &seed in &profile.seeds {
-        let s = settings(profile, seed);
-        kato_runs.push(Kato::new(s.clone()).run(problem, Mode::Constrained));
-        mace_runs.push(MaceOptimizer::new(s.clone()).run(problem, Mode::Constrained));
-        mesmoc_runs.push(Mesmoc::new(s.clone()).run(problem, Mode::Constrained));
-        usemoc_runs.push(Usemoc::new(s).run(problem, Mode::Constrained));
-    }
+    // Seeds fan out across the kato_par pool (order-stable, see run_seeds).
+    let kato_runs = run_seeds(&profile.seeds, |seed| {
+        Kato::new(settings(profile, seed)).run(problem, Mode::Constrained)
+    });
+    let mace_runs = run_seeds(&profile.seeds, |seed| {
+        MaceOptimizer::new(settings(profile, seed)).run(problem, Mode::Constrained)
+    });
+    let mesmoc_runs = run_seeds(&profile.seeds, |seed| {
+        Mesmoc::new(settings(profile, seed)).run(problem, Mode::Constrained)
+    });
+    let usemoc_runs = run_seeds(&profile.seeds, |seed| {
+        Usemoc::new(settings(profile, seed)).run(problem, Mode::Constrained)
+    });
     print_series(
         &format!(
             "Fig. 5({panel}): constrained optimisation, {} (score = signed objective; \

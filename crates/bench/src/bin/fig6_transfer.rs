@@ -4,8 +4,8 @@
 //! mode, node transfer only, as in the paper).
 
 use kato::baselines::{source_fom_archive, Tlmbo};
-use kato::{BoSettings, Kato, Mode, RunHistory, SourceData};
-use kato_bench::{final_stats, mean_sims_to_reach, print_series, Profile};
+use kato::{BoSettings, Kato, Mode, SourceData};
+use kato_bench::{final_stats, mean_sims_to_reach, print_series, run_seeds, Profile};
 use kato_circuits::{FomSpec, SizingProblem, TechNode, ThreeStageOpAmp, TwoStageOpAmp};
 
 fn settings(profile: &Profile, seed: u64) -> BoSettings {
@@ -31,19 +31,16 @@ fn problem_by_key(key: &str) -> Box<dyn SizingProblem> {
 fn run_panel(panel: &str, source_key: &str, target_key: &str, profile: &Profile) {
     let source = problem_by_key(source_key);
     let target = problem_by_key(target_key);
-    let mut plain: Vec<RunHistory> = Vec::new();
-    let mut transfer: Vec<RunHistory> = Vec::new();
-    for &seed in &profile.seeds {
-        let s = settings(profile, seed);
+    let plain = run_seeds(&profile.seeds, |seed| {
+        Kato::new(settings(profile, seed)).run(target.as_ref(), Mode::Constrained)
+    });
+    let transfer = run_seeds(&profile.seeds, |seed| {
         let src = SourceData::from_problem_random(source.as_ref(), profile.source_n, seed ^ 0xA5);
-        plain.push(Kato::new(s.clone()).run(target.as_ref(), Mode::Constrained));
-        transfer.push(
-            Kato::new(s)
-                .with_source(src)
-                .with_label("KATO+TL")
-                .run(target.as_ref(), Mode::Constrained),
-        );
-    }
+        Kato::new(settings(profile, seed))
+            .with_source(src)
+            .with_label("KATO+TL")
+            .run(target.as_ref(), Mode::Constrained)
+    });
     // Speed-up: sims for KATO+TL to reach plain-KATO's final best.
     let (plain_final, _) = final_stats(&plain);
     let tl_sims = mean_sims_to_reach(&transfer, plain_final);
@@ -68,32 +65,52 @@ fn tlmbo_comparison(profile: &Profile) {
     let target = TwoStageOpAmp::new(TechNode::n40());
     let fom_src = FomSpec::calibrate(&source, profile.fom_samples, 2024);
     let fom_tgt = FomSpec::calibrate(&target, profile.fom_samples, 2024);
-    let mut tlmbo_runs: Vec<RunHistory> = Vec::new();
-    let mut kato_tl_runs: Vec<RunHistory> = Vec::new();
-    for &seed in &profile.seeds {
+    let fom_settings = |seed: u64| {
         let mut s = if profile.full {
             BoSettings::paper(profile.budget, seed)
         } else {
             BoSettings::quick(profile.budget, seed)
         };
         s.n_init = profile.n_init_fom;
-        let (sx, sy) = source_fom_archive(&source, &fom_src, profile.source_n, seed ^ 0x5A);
-        tlmbo_runs.push(
-            Tlmbo::new(s.clone(), sx.clone(), sy.clone()).run(&target, Mode::Fom(fom_tgt.clone())),
-        );
+        s
+    };
+    // Each seed's source archive is shared by both methods, so build it
+    // once per seed up front instead of once per (seed, method).
+    type FomArchive = (Vec<Vec<f64>>, Vec<f64>);
+    let archives: Vec<(u64, FomArchive)> = profile
+        .seeds
+        .iter()
+        .map(|&seed| {
+            (
+                seed,
+                source_fom_archive(&source, &fom_src, profile.source_n, seed ^ 0x5A),
+            )
+        })
+        .collect();
+    let archive_for = |seed: u64| {
+        archives
+            .iter()
+            .find(|(s, _)| *s == seed)
+            .map(|(_, a)| a.clone())
+            .expect("archive per seed")
+    };
+    let tlmbo_runs = run_seeds(&profile.seeds, |seed| {
+        let (sx, sy) = archive_for(seed);
+        Tlmbo::new(fom_settings(seed), sx, sy).run(&target, Mode::Fom(fom_tgt.clone()))
+    });
+    let kato_tl_runs = run_seeds(&profile.seeds, |seed| {
+        let (sx, sy) = archive_for(seed);
         let src = SourceData {
             dim: source.dim(),
             xs: sx,
             columns: vec![sy],
             label: source.name(),
         };
-        kato_tl_runs.push(
-            Kato::new(s)
-                .with_source(src)
-                .with_label("KATO+TL")
-                .run(&target, Mode::Fom(fom_tgt.clone())),
-        );
-    }
+        Kato::new(fom_settings(seed))
+            .with_source(src)
+            .with_label("KATO+TL")
+            .run(&target, Mode::Fom(fom_tgt.clone()))
+    });
     print_series(
         "Fig. 6 companion: TLMBO vs KATO+TL (FOM, opamp2 180nm -> 40nm)",
         &[("TLMBO", tlmbo_runs), ("KATO+TL", kato_tl_runs)],

@@ -4,7 +4,7 @@
 
 use kato::baselines::{MaceOptimizer, Mesmoc, Usemoc};
 use kato::{BoSettings, Kato, Mode, RunHistory};
-use kato_bench::{metrics_row, write_csv, Profile};
+use kato_bench::{metrics_row, run_seeds, write_csv, Profile};
 use kato_circuits::{Bandgap, Metrics, SizingProblem, TechNode, ThreeStageOpAmp, TwoStageOpAmp};
 
 fn settings(profile: &Profile, seed: u64) -> BoSettings {
@@ -22,12 +22,12 @@ fn settings(profile: &Profile, seed: u64) -> BoSettings {
 fn best_metrics(runs: &[RunHistory]) -> Option<Metrics> {
     runs.iter()
         .filter_map(RunHistory::best)
-        .max_by(|a, b| a.score.partial_cmp(&b.score).expect("NaN score"))
+        .max_by(|a, b| kato_linalg::cmp_nan_worst(&a.score, &b.score))
         .map(|e| e.metrics.clone())
 }
 
 /// A named optimizer launcher: seed in, full run history out.
-type MethodRunner<'a> = Box<dyn Fn(u64) -> RunHistory + 'a>;
+type MethodRunner<'a> = Box<dyn Fn(u64) -> RunHistory + Sync + 'a>;
 
 fn run_circuit(problem: &dyn SizingProblem, profile: &Profile, rows: &mut Vec<String>) {
     println!("\n--- {} ---", problem.name());
@@ -68,7 +68,7 @@ fn run_circuit(problem: &dyn SizingProblem, profile: &Profile, rows: &mut Vec<St
         ),
     ];
     for (name, run) in methods {
-        let runs: Vec<RunHistory> = profile.seeds.iter().map(|&s| run(s)).collect();
+        let runs = run_seeds(&profile.seeds, &run);
         match best_metrics(&runs) {
             Some(m) => {
                 println!("{}", metrics_row(name, m.values()));

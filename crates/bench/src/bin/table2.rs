@@ -3,7 +3,7 @@
 //! KATO (TL Node&Design) — for both op-amps, plus the expert rows.
 
 use kato::{BoSettings, Kato, Mode, RunHistory, SourceData};
-use kato_bench::{metrics_row, write_csv, Profile};
+use kato_bench::{metrics_row, run_seeds, write_csv, Profile};
 use kato_circuits::{Metrics, SizingProblem, TechNode, ThreeStageOpAmp, TwoStageOpAmp};
 
 fn settings(profile: &Profile, seed: u64) -> BoSettings {
@@ -19,7 +19,7 @@ fn settings(profile: &Profile, seed: u64) -> BoSettings {
 fn best_metrics(runs: &[RunHistory]) -> Option<Metrics> {
     runs.iter()
         .filter_map(RunHistory::best)
-        .max_by(|a, b| a.score.partial_cmp(&b.score).expect("NaN score"))
+        .max_by(|a, b| kato_linalg::cmp_nan_worst(&a.score, &b.score))
         .map(|e| e.metrics.clone())
 }
 
@@ -61,19 +61,15 @@ fn run_target(
         ("KATO (TL Node&Design)", Some(both_src)),
     ];
     for (label, source_key) in variants {
-        let runs: Vec<RunHistory> = profile
-            .seeds
-            .iter()
-            .map(|&seed| {
-                let mut opt = Kato::new(settings(profile, seed));
-                if let Some(key) = source_key {
-                    opt = opt
-                        .with_source(source_for(key, profile.source_n, seed ^ 0x77))
-                        .with_label(label);
-                }
-                opt.run(problem, Mode::Constrained)
-            })
-            .collect();
+        let runs = run_seeds(&profile.seeds, |seed| {
+            let mut opt = Kato::new(settings(profile, seed));
+            if let Some(key) = source_key {
+                opt = opt
+                    .with_source(source_for(key, profile.source_n, seed ^ 0x77))
+                    .with_label(label);
+            }
+            opt.run(problem, Mode::Constrained)
+        });
         match best_metrics(&runs) {
             Some(m) => {
                 println!("{}", metrics_row(label, m.values()));

@@ -71,6 +71,17 @@ impl Profile {
     }
 }
 
+/// Runs one configuration once per seed, fanning the independent runs out
+/// over the [`kato_par`] pool (`KATO_THREADS` controls the width). Results
+/// come back in seed order, so multi-seed experiment tables are identical
+/// for every thread count.
+pub fn run_seeds<F>(seeds: &[u64], run: F) -> Vec<RunHistory>
+where
+    F: Fn(u64) -> RunHistory + Sync,
+{
+    kato_par::par_map(seeds, |&seed| run(seed))
+}
+
 /// Mean best-so-far curve across runs; −∞ entries (nothing feasible yet)
 /// are dropped per-position so means stay meaningful.
 #[must_use]

@@ -85,7 +85,7 @@ impl MaceOptimizer {
             ..ModelConfig::default()
         };
         let specs = modelled_specs(problem, &mode);
-        let (xs, cols) = training_view(&history, &mode);
+        let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
             return fill_random(history, problem, &mode, s, &mut rng);
         };
@@ -120,7 +120,7 @@ impl MaceOptimizer {
                 }
                 history.evaluate_and_push(problem, &mode, x);
             }
-            let (xs, cols) = training_view(&history, &mode);
+            let (xs, cols) = training_view(&history, problem, &mode);
             let _ = models.update(&xs, &cols, &refit_cfg);
         }
         history
@@ -159,7 +159,7 @@ impl SmacRf {
         let model_cfg = ModelConfig::default();
 
         while history.len() < s.budget {
-            let (xs, cols) = training_view(&history, &mode);
+            let (xs, cols) = training_view(&history, problem, &mode);
             let models = MetricModels::fit_forest(&xs, &cols, &specs, &model_cfg);
             let incumbent = acquisition_incumbent(&history, problem, &mode);
 
@@ -176,16 +176,18 @@ impl SmacRf {
                     candidates.push(jittered);
                 }
             }
-            let mut scored: Vec<(f64, usize)> = candidates
+            let objs = models.objective_posterior_batch(&candidates);
+            let margins = models.margin_posteriors_batch(&candidates);
+            let mut scored: Vec<(f64, usize)> = objs
                 .iter()
+                .zip(&margins)
                 .enumerate()
-                .map(|(i, x)| {
-                    let (mu, var) = models.objective_posterior(x);
-                    let pf = probability_of_feasibility(&models.margin_posteriors(x));
+                .map(|(i, (&(mu, var), m))| {
+                    let pf = probability_of_feasibility(m);
                     (expected_improvement(mu, var, incumbent) * pf, i)
                 })
                 .collect();
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN EI"));
+            scored.sort_by(|a, b| kato_linalg::cmp_nan_worst(&b.0, &a.0));
             let take = s.batch.min(s.budget - history.len()).max(1);
             for &(_, i) in scored.iter().take(take) {
                 history.evaluate_and_push(problem, &mode, candidates[i].clone());
@@ -231,7 +233,7 @@ impl Mesmoc {
             neuk: false,
             ..ModelConfig::default()
         };
-        let (xs, cols) = training_view(&history, &mode);
+        let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
             return fill_random(history, problem, &mode, s, &mut rng);
         };
@@ -247,8 +249,7 @@ impl Mesmoc {
         while history.len() < s.budget {
             // Gumbel approximation of the posterior maximum distribution.
             let grid: Vec<Vec<f64>> = (0..200).map(|_| random_design(dim, &mut rng)).collect();
-            let post: Vec<(f64, f64)> =
-                grid.iter().map(|x| models.objective_posterior(x)).collect();
+            let post: Vec<(f64, f64)> = models.objective_posterior_batch(&grid);
             let mean_best = post
                 .iter()
                 .map(|&(m, v)| m + 2.0 * v.sqrt())
@@ -265,11 +266,13 @@ impl Mesmoc {
             let candidates: Vec<Vec<f64>> = (0..self.pool)
                 .map(|_| random_design(dim, &mut rng))
                 .collect();
-            let mut scored: Vec<(f64, usize)> = candidates
+            let objs = models.objective_posterior_batch(&candidates);
+            let margins = models.margin_posteriors_batch(&candidates);
+            let mut scored: Vec<(f64, usize)> = objs
                 .iter()
+                .zip(&margins)
                 .enumerate()
-                .map(|(i, x)| {
-                    let (mu, var) = models.objective_posterior(x);
+                .map(|(i, (&(mu, var), m))| {
                     let sigma = var.max(1e-18).sqrt();
                     let mut mes = 0.0;
                     for &y_star in &maxima {
@@ -278,16 +281,16 @@ impl Mesmoc {
                         let cap = stats::norm_cdf(gamma).max(1e-12);
                         mes += gamma * phi / (2.0 * cap) - cap.ln();
                     }
-                    let pf = probability_of_feasibility(&models.margin_posteriors(x));
+                    let pf = probability_of_feasibility(m);
                     (mes * pf, i)
                 })
                 .collect();
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN MES"));
+            scored.sort_by(|a, b| kato_linalg::cmp_nan_worst(&b.0, &a.0));
             let take = s.batch.min(s.budget - history.len()).max(1);
             for &(_, i) in scored.iter().take(take) {
                 history.evaluate_and_push(problem, &mode, candidates[i].clone());
             }
-            let (xs, cols) = training_view(&history, &mode);
+            let (xs, cols) = training_view(&history, problem, &mode);
             let _ = models.update(&xs, &cols, &refit_cfg);
         }
         history
@@ -328,7 +331,7 @@ impl Usemoc {
             neuk: false,
             ..ModelConfig::default()
         };
-        let (xs, cols) = training_view(&history, &mode);
+        let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
             return fill_random(history, problem, &mode, s, &mut rng);
         };
@@ -346,24 +349,26 @@ impl Usemoc {
             let candidates: Vec<Vec<f64>> = (0..self.pool)
                 .map(|_| random_design(dim, &mut rng))
                 .collect();
-            let mut scored: Vec<(f64, usize)> = candidates
+            let objs = models.objective_posterior_batch(&candidates);
+            let margins = models.margin_posteriors_batch(&candidates);
+            let mut scored: Vec<(f64, usize)> = objs
                 .iter()
+                .zip(&margins)
                 .enumerate()
-                .map(|(i, x)| {
-                    let (mu, var) = models.objective_posterior(x);
-                    let pf = probability_of_feasibility(&models.margin_posteriors(x));
+                .map(|(i, (&(mu, var), m))| {
+                    let pf = probability_of_feasibility(m);
                     let sigma = var.max(0.0).sqrt();
                     // Uncertainty-driven, feasibility-weighted, with a mild
                     // exploitation tie-break.
                     (sigma * pf + 0.05 * (mu - incumbent).max(0.0), i)
                 })
                 .collect();
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+            scored.sort_by(|a, b| kato_linalg::cmp_nan_worst(&b.0, &a.0));
             let take = s.batch.min(s.budget - history.len()).max(1);
             for &(_, i) in scored.iter().take(take) {
                 history.evaluate_and_push(problem, &mode, candidates[i].clone());
             }
-            let (xs, cols) = training_view(&history, &mode);
+            let (xs, cols) = training_view(&history, problem, &mode);
             let _ = models.update(&xs, &cols, &refit_cfg);
         }
         history
@@ -434,7 +439,7 @@ impl Tlmbo {
         let proposer = MaceProposer::new(MaceVariant::Modified);
 
         while history.len() < s.budget {
-            let (mut xs, cols) = training_view(&history, &mode);
+            let (mut xs, cols) = training_view(&history, problem, &mode);
             let mut ys = cols[0].clone();
             // Append copula-aligned source pseudo-observations.
             let aligned = self.transform_source(&ys);

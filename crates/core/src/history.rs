@@ -43,6 +43,12 @@ impl RunHistory {
 
     /// Evaluates `x` on `problem`, scores it under `mode`, records and
     /// returns the record's score.
+    ///
+    /// A simulation whose metrics contain any non-finite value (NaN/±∞ from
+    /// a misbehaving simulator) is recorded as infeasible with score `−∞`:
+    /// it can never become the incumbent, never earns an STL reward, and
+    /// surrogate training imputes its columns (see
+    /// `kato_opt::training_view`) instead of ingesting NaN.
     pub fn evaluate_and_push(
         &mut self,
         problem: &dyn SizingProblem,
@@ -50,14 +56,27 @@ impl RunHistory {
         x: Vec<f64>,
     ) -> f64 {
         let metrics = problem.evaluate(&x);
-        let feasible = metrics.feasible(problem.specs());
+        let clean = metrics.values().iter().all(|v| v.is_finite());
+        let feasible = clean && metrics.feasible(problem.specs());
         let score = match mode {
-            Mode::Fom(fom) => fom.fom(&metrics),
+            Mode::Fom(fom) => {
+                let v = fom.fom(&metrics);
+                if v.is_finite() {
+                    v
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
             Mode::Constrained => {
                 if feasible {
-                    metrics
+                    let v = metrics
                         .objective(problem.specs())
-                        .unwrap_or(f64::NEG_INFINITY)
+                        .unwrap_or(f64::NEG_INFINITY);
+                    if v.is_finite() {
+                        v
+                    } else {
+                        f64::NEG_INFINITY
+                    }
                 } else {
                     f64::NEG_INFINITY
                 }
@@ -91,7 +110,7 @@ impl RunHistory {
         self.evals
             .iter()
             .filter(|e| e.score > f64::NEG_INFINITY)
-            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("NaN score"))
+            .max_by(|a, b| kato_linalg::cmp_nan_worst(&a.score, &b.score))
     }
 
     /// Incumbent score so far (−∞ if none).
@@ -203,6 +222,63 @@ mod tests {
         assert_eq!(h.best().unwrap().x, vec![0.45]);
         assert_eq!(h.sims_to_reach(0.4), Some(3));
         assert_eq!(h.sims_to_reach(0.9), None);
+    }
+
+    #[test]
+    fn non_finite_metrics_score_as_infeasible() {
+        struct NanToy(Vec<VarSpec>, Vec<Spec>);
+        impl SizingProblem for NanToy {
+            fn name(&self) -> String {
+                "nan_toy".into()
+            }
+            fn variables(&self) -> &[VarSpec] {
+                &self.0
+            }
+            fn metric_names(&self) -> &[&'static str] {
+                &["obj", "con"]
+            }
+            fn specs(&self) -> &[Spec] {
+                &self.1
+            }
+            fn evaluate(&self, x: &[f64]) -> Metrics {
+                if x[0] < 0.5 {
+                    Metrics::new(vec![f64::NAN, f64::INFINITY])
+                } else {
+                    Metrics::new(vec![x[0], 1.0])
+                }
+            }
+            fn expert_design(&self) -> Vec<f64> {
+                vec![0.9]
+            }
+        }
+        let toy = NanToy(
+            vec![VarSpec::lin("a", 0.0, 1.0)],
+            vec![
+                Spec {
+                    metric: 0,
+                    kind: SpecKind::Objective(Goal::Maximize),
+                },
+                Spec {
+                    metric: 1,
+                    kind: SpecKind::GreaterEq(0.5),
+                },
+            ],
+        );
+        let mut h = RunHistory::new("nan_toy", "t", 0);
+        let bad = h.evaluate_and_push(&toy, &Mode::Constrained, vec![0.2]);
+        let good = h.evaluate_and_push(&toy, &Mode::Constrained, vec![0.8]);
+        assert_eq!(bad, f64::NEG_INFINITY);
+        assert!(!h.evals[0].feasible);
+        assert!((good - 0.8).abs() < 1e-12);
+        assert_eq!(h.best().unwrap().x, vec![0.8]);
+        assert!(h.incumbent().is_finite());
+        // FOM mode: a NaN FOM also scores −∞ rather than propagating.
+        use kato_circuits::FomSpec;
+        let fom = FomSpec::calibrate(&toy, 16, 3);
+        let mut hf = RunHistory::new("nan_toy", "t", 0);
+        let s = hf.evaluate_and_push(&toy, &Mode::Fom(fom), vec![0.2]);
+        assert!(s == f64::NEG_INFINITY || s.is_finite());
+        assert!(!s.is_nan());
     }
 
     #[test]

@@ -143,7 +143,7 @@ impl Kato {
             ..ModelConfig::default()
         };
         let specs = modelled_specs(problem, &mode);
-        let (xs, cols) = training_view(&history, &mode);
+        let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut neuk_models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
             return fill_random(history, problem, &mode, s, &mut rng);
         };
@@ -184,8 +184,15 @@ impl Kato {
                 // Forced transfer: the whole batch from the KAT-GP.
                 vec![0, n_take]
             };
-            let mut batches: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_proposers);
-            for (i, &count) in counts.iter().enumerate() {
+            // The per-proposer acquisition searches are independent (each
+            // has its own derived NSGA/sampling seeds), so P1 and P2 run
+            // concurrently on the kato_par pool; order-preserving par_map
+            // keeps the trace identical across thread counts.
+            let tasks: Vec<(usize, usize)> = counts.iter().copied().enumerate().collect();
+            let batches: Vec<Vec<Vec<f64>>> = kato_par::par_map(&tasks, |&(i, count)| {
+                if count == 0 {
+                    return Vec::new();
+                }
                 let models: &MetricModels = if i == 0 {
                     &neuk_models
                 } else {
@@ -201,8 +208,8 @@ impl Kato {
                 );
                 let mut prop_rng =
                     StdRng::seed_from_u64(s.seed.wrapping_add(900 + iteration * 3 + i as u64));
-                batches.push(MaceProposer::sample_batch(&front, count, &mut prop_rng));
-            }
+                MaceProposer::sample_batch(&front, count, &mut prop_rng)
+            });
 
             // Simulate and update STL weights (Eq. 14).
             let incumbent_before = history.incumbent();
@@ -221,7 +228,7 @@ impl Kato {
             }
 
             // Refit surrogates on the grown archive.
-            let (xs, cols) = training_view(&history, &mode);
+            let (xs, cols) = training_view(&history, problem, &mode);
             let _ = neuk_models.update(&xs, &cols, &refit_cfg);
             if let Some(kat) = kat_models.as_mut() {
                 let _ = kat.update(&xs, &cols, &refit_cfg);
@@ -240,10 +247,19 @@ pub(crate) fn modelled_specs(problem: &dyn SizingProblem, mode: &Mode) -> Vec<Sp
 }
 
 /// Training data view under a mode: raw metric columns (constrained) or the
-/// single FOM column.
-pub(crate) fn training_view(history: &RunHistory, mode: &Mode) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+/// single FOM column. Non-finite entries (a misbehaving simulator returning
+/// NaN/±∞) are imputed pessimistically per column so surrogate training
+/// never ingests NaN: the worst observed finite value in the column's spec
+/// direction (finite minimum for maximised/`≥` columns, finite maximum for
+/// minimised/`≤` ones), or `0.0` when the column has no finite entry at
+/// all.
+pub(crate) fn training_view(
+    history: &RunHistory,
+    problem: &dyn SizingProblem,
+    mode: &Mode,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let xs: Vec<Vec<f64>> = history.evals.iter().map(|e| e.x.clone()).collect();
-    let cols = match mode {
+    let mut cols = match mode {
         Mode::Fom(fom) => {
             vec![history.evals.iter().map(|e| fom.fom(&e.metrics)).collect()]
         }
@@ -252,7 +268,40 @@ pub(crate) fn training_view(history: &RunHistory, mode: &Mode) -> (Vec<Vec<f64>>
             metric_columns(&refs)
         }
     };
+    sanitize_columns(&mut cols, &modelled_specs(problem, mode));
     (xs, cols)
+}
+
+/// Replaces non-finite column entries with the worst finite value in the
+/// column's spec direction (see [`training_view`]).
+pub(crate) fn sanitize_columns(cols: &mut [Vec<f64>], specs: &[Spec]) {
+    for (j, col) in cols.iter_mut().enumerate() {
+        if col.iter().all(|v| v.is_finite()) {
+            continue;
+        }
+        // "Worse" is larger for minimised / upper-bounded columns, smaller
+        // for maximised / lower-bounded ones (the default when unspec'd).
+        let larger_is_worse = specs.iter().any(|s| {
+            s.metric == j
+                && matches!(
+                    s.kind,
+                    kato_circuits::SpecKind::Objective(kato_circuits::Goal::Minimize)
+                        | kato_circuits::SpecKind::LessEq(_)
+                )
+        });
+        let finite = col.iter().copied().filter(|v| v.is_finite());
+        let fill = if larger_is_worse {
+            finite.fold(f64::NEG_INFINITY, f64::max)
+        } else {
+            finite.fold(f64::INFINITY, f64::min)
+        };
+        let fill = if fill.is_finite() { fill } else { 0.0 };
+        for v in col.iter_mut() {
+            if !v.is_finite() {
+                *v = fill;
+            }
+        }
+    }
 }
 
 /// Incumbent handed to EI/PI: the best score, or — before anything is
@@ -295,7 +344,7 @@ pub(crate) fn warm_starts(history: &RunHistory, k: usize) -> Vec<Vec<f64>> {
             (s, &e.x)
         })
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    scored.sort_by(|a, b| kato_linalg::cmp_nan_worst(&b.0, &a.0));
     scored.iter().take(k).map(|(_, x)| (*x).clone()).collect()
 }
 
@@ -427,6 +476,99 @@ mod tests {
         let soft_03 = toy.evaluate(&[0.3, 0.5]).objective(toy.specs()).unwrap()
             - 10.0 * toy.evaluate(&[0.3, 0.5]).violation(toy.specs());
         assert!((inc - soft_03).abs() < 1e-12);
+    }
+
+    /// Toy with a NaN "dead zone": the simulator returns NaN/∞ metrics for
+    /// `x0 < 0.25` — a model of a simulator that fails to converge in part
+    /// of the design space.
+    struct NanZone {
+        inner: Toy,
+    }
+
+    impl SizingProblem for NanZone {
+        fn name(&self) -> String {
+            "nan_zone".into()
+        }
+        fn variables(&self) -> &[VarSpec] {
+            self.inner.variables()
+        }
+        fn metric_names(&self) -> &[&'static str] {
+            self.inner.metric_names()
+        }
+        fn specs(&self) -> &[Spec] {
+            self.inner.specs()
+        }
+        fn evaluate(&self, x: &[f64]) -> Metrics {
+            if x[0] < 0.25 {
+                Metrics::new(vec![f64::NAN, f64::INFINITY])
+            } else {
+                self.inner.evaluate(x)
+            }
+        }
+        fn expert_design(&self) -> Vec<f64> {
+            self.inner.expert_design()
+        }
+    }
+
+    #[test]
+    fn nan_subregion_never_panics_and_budget_completes() {
+        // End-to-end regression for the NaN-safety fixes: the full KATO
+        // loop (GP fits, MACE/NSGA-II acquisition search, STL splits,
+        // incumbent tracking) must run its whole budget even though a
+        // subregion of the simulator returns non-finite metrics.
+        let problem = NanZone { inner: Toy::new() };
+        let h = Kato::new(BoSettings::quick(28, 13)).run(&problem, Mode::Constrained);
+        assert_eq!(h.len(), 28);
+        assert!(h.evals.iter().all(|e| !e.score.is_nan()));
+        // Designs in the dead zone are recorded as infeasible, not winners.
+        for e in &h.evals {
+            if e.x[0] < 0.25 {
+                assert_eq!(e.score, f64::NEG_INFINITY);
+                assert!(!e.feasible);
+            }
+        }
+        // The optimizer still makes progress in the live region.
+        assert!(h.incumbent().is_finite());
+    }
+
+    #[test]
+    fn training_view_imputes_non_finite_pessimistically() {
+        let problem = NanZone { inner: Toy::new() };
+        let mut h = RunHistory::new("nan_zone", "t", 0);
+        h.evaluate_and_push(&problem, &Mode::Constrained, vec![0.1, 0.5]); // NaN zone
+        h.evaluate_and_push(&problem, &Mode::Constrained, vec![0.5, 0.5]);
+        h.evaluate_and_push(&problem, &Mode::Constrained, vec![0.9, 0.1]);
+        let (_, cols) = training_view(&h, &problem, &Mode::Constrained);
+        for col in &cols {
+            assert!(col.iter().all(|v| v.is_finite()), "{cols:?}");
+        }
+        // Maximised objective column: NaN imputed with the finite minimum.
+        let min_obj = cols[0][1].min(cols[0][2]);
+        assert_eq!(cols[0][0], min_obj);
+    }
+
+    #[test]
+    fn sanitize_columns_direction_follows_spec() {
+        use kato_circuits::{Goal, SpecKind};
+        let specs = vec![
+            Spec {
+                metric: 0,
+                kind: SpecKind::Objective(Goal::Minimize),
+            },
+            Spec {
+                metric: 1,
+                kind: SpecKind::GreaterEq(0.5),
+            },
+        ];
+        let mut cols = vec![
+            vec![1.0, f64::NAN, 3.0],
+            vec![0.2, f64::INFINITY, 0.8],
+            vec![f64::NAN, f64::NAN, f64::NAN],
+        ];
+        sanitize_columns(&mut cols, &specs);
+        assert_eq!(cols[0][1], 3.0); // minimised → worst = finite max
+        assert_eq!(cols[1][1], 0.2); // lower-bounded → worst = finite min
+        assert_eq!(cols[2], vec![0.0, 0.0, 0.0]); // nothing finite → 0.0
     }
 
     #[test]

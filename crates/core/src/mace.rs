@@ -49,19 +49,15 @@ impl MaceProposer {
         MaceProposer { variant }
     }
 
-    /// The acquisition-vector for one candidate (exposed for the ablation
-    /// bench).
-    #[must_use]
-    pub fn objectives(
+    /// Assembles the acquisition vector from already-computed posteriors.
+    fn assemble(
         &self,
-        models: &MetricModels,
-        x: &[f64],
+        (mu, var): (f64, f64),
+        margins: &[(f64, f64)],
         incumbent: f64,
         beta: f64,
     ) -> Vec<f64> {
-        let (mu, var) = models.objective_posterior(x);
-        let margins = models.margin_posteriors(x);
-        let pf = probability_of_feasibility(&margins);
+        let pf = probability_of_feasibility(margins);
         let ei = expected_improvement(mu, var, incumbent);
         let pi = probability_of_improvement(mu, var, incumbent);
         let ucb = upper_confidence_bound(mu, var, beta);
@@ -78,7 +74,50 @@ impl MaceProposer {
         }
     }
 
-    /// Runs the NSGA-II Pareto search and returns the front.
+    /// The acquisition-vector for one candidate (exposed for the ablation
+    /// bench).
+    #[must_use]
+    pub fn objectives(
+        &self,
+        models: &MetricModels,
+        x: &[f64],
+        incumbent: f64,
+        beta: f64,
+    ) -> Vec<f64> {
+        self.assemble(
+            models.objective_posterior(x),
+            &models.margin_posteriors(x),
+            incumbent,
+            beta,
+        )
+    }
+
+    /// Acquisition vectors for a whole candidate population at once: each
+    /// surrogate runs a single batched posterior over the population
+    /// ([`MetricModels::objective_posterior_batch`] /
+    /// [`MetricModels::margin_posteriors_batch`]) instead of one `O(n²)`
+    /// solve per point. This is what NSGA-II calls through
+    /// [`kato_nsga::Nsga2::run_batch`] in [`MaceProposer::pareto_front`].
+    #[must_use]
+    pub fn objectives_batch(
+        &self,
+        models: &MetricModels,
+        xs: &[Vec<f64>],
+        incumbent: f64,
+        beta: f64,
+    ) -> Vec<Vec<f64>> {
+        let objs = models.objective_posterior_batch(xs);
+        let margins = models.margin_posteriors_batch(xs);
+        objs.into_iter()
+            .zip(&margins)
+            .map(|(post, m)| self.assemble(post, m, incumbent, beta))
+            .collect()
+    }
+
+    /// Runs the NSGA-II Pareto search and returns the front. Every
+    /// generation scores its population through the batched acquisition
+    /// path ([`MaceProposer::objectives_batch`]); results are identical to
+    /// the point-wise path up to floating-point re-association.
     #[must_use]
     pub fn pareto_front(
         &self,
@@ -97,7 +136,7 @@ impl MaceProposer {
             initial: warm_starts.to_vec(),
             ..Nsga2Config::default()
         });
-        nsga.run(|x| self.objectives(models, x, incumbent, settings.ucb_beta))
+        nsga.run_batch(|xs| self.objectives_batch(models, xs, incumbent, settings.ucb_beta))
     }
 
     /// Samples a batch of `n` candidate designs from a Pareto front
@@ -212,6 +251,26 @@ mod tests {
         assert_eq!(modified.objectives(&models, &[0.5, 0.5], inc, 2.0).len(), 3);
         assert_eq!(MaceVariant::Full.objective_count(), 6);
         assert_eq!(MaceVariant::Modified.objective_count(), 3);
+    }
+
+    #[test]
+    fn objectives_batch_matches_pointwise() {
+        let (_, models, inc) = fitted_models(12);
+        let queries: Vec<Vec<f64>> = (0..7)
+            .map(|i| vec![i as f64 / 6.0, (i as f64 * 3.1) % 1.0])
+            .collect();
+        for variant in [MaceVariant::Modified, MaceVariant::Full] {
+            let prop = MaceProposer::new(variant);
+            let batch = prop.objectives_batch(&models, &queries, inc, 2.0);
+            assert_eq!(batch.len(), queries.len());
+            for (q, b) in queries.iter().zip(&batch) {
+                let p = prop.objectives(&models, q, inc, 2.0);
+                assert_eq!(p.len(), b.len());
+                for (x, y) in p.iter().zip(b) {
+                    assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -49,6 +49,20 @@ impl Model {
         }
     }
 
+    /// Posterior mean and variance at every query point — batched
+    /// inference. GP-family surrogates share one Cholesky application
+    /// across the whole batch ([`Gp::predict_batch`] /
+    /// [`KatGp::predict_batch`]); forests fan the points out over the
+    /// [`kato_par`] pool.
+    #[must_use]
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        match self {
+            Model::Gp(gp) => gp.predict_batch(xs),
+            Model::Kat(kat) => kat.predict_batch(xs),
+            Model::Forest(f) => kato_par::par_map(xs, |x| f.predict(x)),
+        }
+    }
+
     /// Refits on an updated dataset (warm-started where supported).
     ///
     /// # Errors
@@ -107,8 +121,10 @@ impl MetricModels {
         specs: &[Spec],
         config: &ModelConfig,
     ) -> Result<MetricModels, GpError> {
-        let mut models = Vec::with_capacity(columns.len());
-        for (j, ys) in columns.iter().enumerate() {
+        // Per-column fits are independent (each derives its own seed from
+        // the column index), so they fan out over the kato_par pool.
+        let idx: Vec<usize> = (0..columns.len()).collect();
+        let fitted = kato_par::par_map(&idx, |&j| {
             let kernel = if config.neuk {
                 KernelSpec::neuk(dim)
             } else {
@@ -116,7 +132,11 @@ impl MetricModels {
             };
             let mut cfg = config.gp.clone();
             cfg.seed = cfg.seed.wrapping_add(j as u64);
-            models.push(Model::Gp(Box::new(Gp::fit(kernel, xs, ys, &cfg)?)));
+            Gp::fit(kernel, xs, &columns[j], &cfg)
+        });
+        let mut models = Vec::with_capacity(columns.len());
+        for gp in fitted {
+            models.push(Model::Gp(Box::new(gp?)));
         }
         Ok(MetricModels {
             models,
@@ -132,12 +152,12 @@ impl MetricModels {
         specs: &[Spec],
         config: &ModelConfig,
     ) -> MetricModels {
-        let mut models = Vec::with_capacity(columns.len());
-        for (j, ys) in columns.iter().enumerate() {
+        let idx: Vec<usize> = (0..columns.len()).collect();
+        let models = kato_par::par_map(&idx, |&j| {
             let mut cfg = config.forest.clone();
             cfg.seed = cfg.seed.wrapping_add(j as u64);
-            models.push(Model::Forest(Box::new(RandomForest::fit(xs, ys, &cfg))));
-        }
+            Model::Forest(Box::new(RandomForest::fit(xs, &columns[j], &cfg)))
+        });
         MetricModels {
             models,
             specs: specs.to_vec(),
@@ -159,22 +179,27 @@ impl MetricModels {
         specs: &[Spec],
         config: &ModelConfig,
     ) -> Result<MetricModels, GpError> {
-        let mut models = Vec::with_capacity(columns.len());
-        for (j, ys) in columns.iter().enumerate() {
+        let idx: Vec<usize> = (0..columns.len()).collect();
+        let fitted = kato_par::par_map(&idx, |&j| {
+            let ys = &columns[j];
             if let Some(src) = source.get(j) {
                 let mut cfg = config.kat.clone();
                 cfg.seed = cfg.seed.wrapping_add(j as u64);
-                models.push(Model::Kat(Box::new(KatGp::fit(src, xs, ys, &cfg)?)));
+                Ok::<Model, GpError>(Model::Kat(Box::new(KatGp::fit(src, xs, ys, &cfg)?)))
             } else {
                 let mut cfg = config.gp.clone();
                 cfg.seed = cfg.seed.wrapping_add(j as u64);
-                models.push(Model::Gp(Box::new(Gp::fit(
+                Ok(Model::Gp(Box::new(Gp::fit(
                     KernelSpec::neuk(dim),
                     xs,
                     ys,
                     &cfg,
-                )?)));
+                )?)))
             }
+        });
+        let mut models = Vec::with_capacity(columns.len());
+        for model in fitted {
+            models.push(model?);
         }
         Ok(MetricModels {
             models,
@@ -193,10 +218,9 @@ impl MetricModels {
         columns: &[Vec<f64>],
         config: &ModelConfig,
     ) -> Result<(), GpError> {
-        for (model, ys) in self.models.iter_mut().zip(columns) {
-            model.update(xs, ys, config)?;
-        }
-        Ok(())
+        let mut pairs: Vec<(&mut Model, &Vec<f64>)> = self.models.iter_mut().zip(columns).collect();
+        let results = kato_par::par_map_mut(&mut pairs, |(model, ys)| model.update(xs, ys, config));
+        results.into_iter().collect()
     }
 
     /// Posterior of the signed objective (larger = better) at `x`.
@@ -212,6 +236,50 @@ impl MetricModels {
             }
         }
         (0.0, 1.0)
+    }
+
+    /// Batched form of [`MetricModels::objective_posterior`]: the signed
+    /// objective posterior at every query point, served by one
+    /// [`Model::predict_batch`] call.
+    #[must_use]
+    pub fn objective_posterior_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        for spec in &self.specs {
+            if let SpecKind::Objective(goal) = spec.kind {
+                let preds = self.models[spec.metric].predict_batch(xs);
+                return match goal {
+                    Goal::Maximize => preds,
+                    Goal::Minimize => preds.into_iter().map(|(m, v)| (-m, v)).collect(),
+                };
+            }
+        }
+        vec![(0.0, 1.0); xs.len()]
+    }
+
+    /// Batched form of [`MetricModels::margin_posteriors`]: one margin
+    /// vector per query point (outer index = point, inner = constraint in
+    /// spec order), with each constraint's surrogate invoked once for the
+    /// whole batch.
+    #[must_use]
+    pub fn margin_posteriors_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<(f64, f64)>> {
+        let mut out = vec![Vec::new(); xs.len()];
+        for spec in &self.specs {
+            match spec.kind {
+                SpecKind::GreaterEq(b) => {
+                    let preds = self.models[spec.metric].predict_batch(xs);
+                    for (margins, (m, v)) in out.iter_mut().zip(preds) {
+                        margins.push((m - b, v));
+                    }
+                }
+                SpecKind::LessEq(b) => {
+                    let preds = self.models[spec.metric].predict_batch(xs);
+                    for (margins, (m, v)) in out.iter_mut().zip(preds) {
+                        margins.push((b - m, v));
+                    }
+                }
+                SpecKind::Objective(_) => {}
+            }
+        }
+        out
     }
 
     /// Posteriors of every constraint margin (non-negative = satisfied).
@@ -268,13 +336,14 @@ pub fn fit_source_gps(
     columns: &[Vec<f64>],
     config: &ModelConfig,
 ) -> Result<Vec<Gp>, GpError> {
-    let mut out = Vec::with_capacity(columns.len());
-    for (j, ys) in columns.iter().enumerate() {
+    let idx: Vec<usize> = (0..columns.len()).collect();
+    kato_par::par_map(&idx, |&j| {
         let mut cfg = config.gp.clone();
         cfg.seed = cfg.seed.wrapping_add(100 + j as u64);
-        out.push(Gp::fit(KernelSpec::neuk(dim), xs, ys, &cfg)?);
-    }
-    Ok(out)
+        Gp::fit(KernelSpec::neuk(dim), xs, &columns[j], &cfg)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -370,6 +439,39 @@ mod tests {
         assert!(matches!(models.models()[2], Model::Gp(_)));
         let (m, v) = models.objective_posterior(&[0.4, 0.6]);
         assert!(m.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn batched_posteriors_match_pointwise() {
+        let (xs, cols) = toy_data(14);
+        let cfg = quick_cfg();
+        let queries: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![i as f64 / 8.0, (i as f64 * 2.3) % 1.0])
+            .collect();
+        // GP stack, KAT stack, and forest stack all honour the batch API.
+        let gp_models = MetricModels::fit_gp(2, &xs, &cols, &toy_specs(), &cfg).unwrap();
+        let sources = fit_source_gps(2, &xs, &cols[..2], &cfg).unwrap();
+        let kat_models =
+            MetricModels::fit_kat(2, &sources, &xs, &cols, &toy_specs(), &cfg).unwrap();
+        let forest_models = MetricModels::fit_forest(&xs, &cols, &toy_specs(), &cfg);
+        for models in [&gp_models, &kat_models, &forest_models] {
+            let obj = models.objective_posterior_batch(&queries);
+            let margins = models.margin_posteriors_batch(&queries);
+            assert_eq!(obj.len(), queries.len());
+            assert_eq!(margins.len(), queries.len());
+            for (i, q) in queries.iter().enumerate() {
+                let (m, v) = models.objective_posterior(q);
+                assert!((obj[i].0 - m).abs() <= 1e-10 * (1.0 + m.abs()), "{m}");
+                assert!((obj[i].1 - v).abs() <= 1e-10 * (1.0 + v.abs()), "{v}");
+                let pm = models.margin_posteriors(q);
+                assert_eq!(margins[i].len(), pm.len());
+                for (a, b) in margins[i].iter().zip(&pm) {
+                    assert!((a.0 - b.0).abs() <= 1e-10 * (1.0 + b.0.abs()));
+                    assert!((a.1 - b.1).abs() <= 1e-10 * (1.0 + b.1.abs()));
+                }
+            }
+        }
+        assert!(gp_models.objective_posterior_batch(&[]).is_empty());
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl StlWeights {
             .enumerate()
             .map(|(i, v)| (i, v - v.floor()))
             .collect();
-        rema.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN remainder"));
+        rema.sort_by(|a, b| kato_linalg::cmp_nan_worst(&b.1, &a.1));
         let mut k = 0;
         while assigned < n_batch {
             counts[rema[k % rema.len()].0] += 1;

@@ -108,11 +108,8 @@ impl Tree {
             feats.swap(i, j);
         }
         for &f in &feats[..n_try] {
-            idx.sort_by(|&a, &b| {
-                xs[a][f]
-                    .partial_cmp(&xs[b][f])
-                    .expect("NaN in forest feature")
-            });
+            // NaN feature values sort last instead of aborting the fit.
+            idx.sort_by(|&a, &b| kato_linalg::cmp_nan_last(&xs[a][f], &xs[b][f]));
             let total_sum: f64 = idx.iter().map(|&i| ys[i]).sum();
             let total_sqs: f64 = idx.iter().map(|&i| ys[i] * ys[i]).sum();
             let mut left_sum = 0.0;

@@ -324,6 +324,56 @@ impl Gp {
         (self.y_scaler.inverse_scalar(m, 0), v * s * s)
     }
 
+    /// Posterior mean and variance at every query point (raw units) — the
+    /// batched form of [`Gp::predict`].
+    ///
+    /// Per-point kernel features are hoisted once via
+    /// [`KernelSpec::prepare`] (rows of the cross-covariance fan out over
+    /// the [`kato_par`] pool) and the shared Cholesky factor is applied to
+    /// all queries in a single batched triangular solve, instead of one
+    /// `O(n²)` forward substitution per point. Values agree with the
+    /// point-wise path to floating-point re-association error (≪ 1e-10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's length differs from the kernel input
+    /// dimension.
+    #[must_use]
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let dim = self.kernel.input_dim();
+        let n = self.xs.len();
+        let xq: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                assert_eq!(x.len(), dim, "predict_batch: dimension mismatch");
+                self.x_scaler.transform(x)
+            })
+            .collect();
+        let train = self.kernel.prepare(&self.params, &self.xs);
+        let query = self.kernel.prepare(&self.params, &xq);
+        let idx: Vec<usize> = (0..xq.len()).collect();
+        let kvecs: Vec<Vec<f64>> = kato_par::par_map(&idx, |&j| {
+            (0..n).map(|i| query.eval(j, &train, i)).collect()
+        });
+        let kmat = Matrix::from_fn(n, xq.len(), |i, j| kvecs[j][i]);
+        let w = self.chol.forward_sub_matrix(&kmat);
+        let s = self.y_scaler.scale(0);
+        idx.iter()
+            .map(|&j| {
+                let mean = kato_linalg::dot(&kvecs[j], &self.alpha);
+                let mut wsq = 0.0;
+                for i in 0..n {
+                    wsq += w[(i, j)] * w[(i, j)];
+                }
+                let var = (query.eval(j, &query, j) - wsq).max(1e-12);
+                (self.y_scaler.inverse_scalar(mean, 0), var * s * s)
+            })
+            .collect()
+    }
+
     /// Posterior mean/variance in standardised coordinates (`x` already
     /// standardised). Used by KAT-GP, acquisition internals and tests.
     #[must_use]
@@ -479,6 +529,46 @@ mod tests {
         let a = Gp::fit(KernelSpec::neuk(1), &xs, &ys, &GpConfig::fast()).unwrap();
         let b = Gp::fit(KernelSpec::neuk(1), &xs, &ys, &GpConfig::fast()).unwrap();
         assert_eq!(a.kernel_params(), b.kernel_params());
+    }
+
+    #[test]
+    fn predict_batch_matches_pointwise() {
+        let (xs, ys) = sine_data(18);
+        for kernel in [KernelSpec::ard_rbf(1), KernelSpec::neuk(1)] {
+            let gp = Gp::fit(kernel, &xs, &ys, &GpConfig::fast()).unwrap();
+            let queries: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 / 12.0 - 0.5]).collect();
+            let batch = gp.predict_batch(&queries);
+            assert_eq!(batch.len(), queries.len());
+            for (q, &(bm, bv)) in queries.iter().zip(&batch) {
+                let (m, v) = gp.predict(q);
+                assert!(
+                    (m - bm).abs() <= 1e-10 * (1.0 + m.abs()),
+                    "mean {m} vs {bm}"
+                );
+                assert!((v - bv).abs() <= 1e-10 * (1.0 + v.abs()), "var {v} vs {bv}");
+            }
+        }
+        let gp = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        assert!(gp.predict_batch(&[]).is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_predict_batch_matches_pointwise(
+            qs in proptest::collection::vec(-1.0..2.0f64, 1..12),
+            neuk in 0usize..2,
+        ) {
+            let (xs, ys) = sine_data(12);
+            let kernel = if neuk == 1 { KernelSpec::neuk(1) } else { KernelSpec::ard_rbf(1) };
+            let gp = Gp::fit(kernel, &xs, &ys, &GpConfig::fast()).unwrap();
+            let queries: Vec<Vec<f64>> = qs.iter().map(|&q| vec![q]).collect();
+            let batch = gp.predict_batch(&queries);
+            for (q, &(bm, bv)) in queries.iter().zip(&batch) {
+                let (m, v) = gp.predict(q);
+                proptest::prop_assert!((m - bm).abs() <= 1e-10 * (1.0 + m.abs()));
+                proptest::prop_assert!((v - bv).abs() <= 1e-10 * (1.0 + v.abs()));
+            }
+        }
     }
 
     #[test]

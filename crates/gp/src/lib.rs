@@ -44,6 +44,6 @@ mod scaler;
 pub use error::GpError;
 pub use gp::{Gp, GpConfig};
 pub use katgp::{KatConfig, KatGp};
-pub use kernels::{KernelSpec, NeukSpec, PrimitiveKernel};
+pub use kernels::{KernelSpec, NeukSpec, PreparedKernel, PrimitiveKernel};
 pub use mlp::MlpSpec;
 pub use scaler::Scaler;

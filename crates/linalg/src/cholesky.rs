@@ -152,6 +152,68 @@ impl Cholesky {
         x
     }
 
+    /// Solves `L Y = B` for a whole right-hand-side matrix (forward
+    /// substitution on every column at once) — the batched form of
+    /// [`Cholesky::forward_sub`] used by `predict_batch`-style posterior
+    /// inference, where `B` stacks one cross-covariance vector per query
+    /// point as a column. Column `j` of the result is bit-for-bit the same
+    /// as `forward_sub(&b.col(j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows()` differs from the matrix dimension.
+    #[must_use]
+    pub fn forward_sub_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.l.rows();
+        assert_eq!(b.rows(), n, "forward_sub_matrix: rhs row-count mismatch");
+        let q = b.cols();
+        let mut y = Matrix::zeros(n, q);
+        for i in 0..n {
+            for j in 0..q {
+                let mut sum = b[(i, j)];
+                for k in 0..i {
+                    sum -= self.l[(i, k)] * y[(k, j)];
+                }
+                y[(i, j)] = sum / self.l[(i, i)];
+            }
+        }
+        y
+    }
+
+    /// Solves `Lᵀ X = Y` column-wise (batched [`Cholesky::backward_sub`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.rows()` differs from the matrix dimension.
+    #[must_use]
+    pub fn backward_sub_matrix(&self, y: &Matrix) -> Matrix {
+        let n = self.l.rows();
+        assert_eq!(y.rows(), n, "backward_sub_matrix: rhs row-count mismatch");
+        let q = y.cols();
+        let mut x = Matrix::zeros(n, q);
+        for i in (0..n).rev() {
+            for j in 0..q {
+                let mut sum = y[(i, j)];
+                for k in (i + 1)..n {
+                    sum -= self.l[(k, i)] * x[(k, j)];
+                }
+                x[(i, j)] = sum / self.l[(i, i)];
+            }
+        }
+        x
+    }
+
+    /// Solves `A X = B` for a whole right-hand-side matrix (forward then
+    /// backward substitution on every column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows()` differs from the matrix dimension.
+    #[must_use]
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        self.backward_sub_matrix(&self.forward_sub_matrix(b))
+    }
+
     /// Log-determinant of `A`: `2 Σ log L_ii`.
     #[must_use]
     pub fn log_det(&self) -> f64 {
@@ -265,6 +327,32 @@ mod tests {
             Cholesky::new(&a),
             Err(LinalgError::NotPositiveDefinite)
         ));
+    }
+
+    #[test]
+    fn matrix_solves_match_columnwise_vector_solves() {
+        let a = spd_from_seedish(&[0.4, -0.9, 1.3, 0.2, -0.6, 0.8], 5);
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(5, 3, |i, j| (i as f64 * 0.7 - j as f64 * 1.1).sin());
+        let fwd = c.forward_sub_matrix(&b);
+        let full = c.solve_matrix(&b);
+        for j in 0..3 {
+            let col = b.col(j);
+            let fwd_col = c.forward_sub(&col);
+            let solve_col = c.solve(&col);
+            for i in 0..5 {
+                assert_eq!(fwd[(i, j)], fwd_col[i], "forward ({i},{j})");
+                assert_eq!(full[(i, j)], solve_col[i], "solve ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs row-count mismatch")]
+    fn matrix_solve_rejects_wrong_row_count() {
+        let a = Matrix::identity(3);
+        let c = Cholesky::new(&a).unwrap();
+        let _ = c.forward_sub_matrix(&Matrix::zeros(2, 3));
     }
 
     proptest! {

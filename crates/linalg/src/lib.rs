@@ -41,6 +41,37 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 
+/// Ascending total order over `f64` that ranks every NaN *below* `−∞`.
+///
+/// NaN is treated as the worst possible value: `max_by(cmp_nan_worst)`
+/// never selects a NaN over a number, and a descending sort via
+/// `|a, b| cmp_nan_worst(b, a)` pushes NaN to the end. This is the
+/// NaN-tolerant replacement for the `partial_cmp(..).expect("NaN")`
+/// pattern on "larger is better" scores: a misbehaving simulator degrades
+/// the ranking instead of aborting the run.
+#[must_use]
+pub fn cmp_nan_worst(a: &f64, b: &f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(b),
+    }
+}
+
+/// Ascending total order over `f64` that ranks every NaN *above* `+∞`, so
+/// an ascending sort places NaN last regardless of its sign bit (plain
+/// `total_cmp` would put negative-sign NaN first).
+#[must_use]
+pub fn cmp_nan_last(a: &f64, b: &f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(b),
+    }
+}
+
 /// Dot product of two equal-length slices.
 ///
 /// # Panics
@@ -94,5 +125,32 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_panics_on_mismatch() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cmp_nan_worst_ranks_nan_below_everything() {
+        let mut v = [2.0, f64::NAN, -1.0, f64::NEG_INFINITY, f64::INFINITY];
+        v.sort_by(cmp_nan_worst);
+        assert!(v[0].is_nan());
+        assert_eq!(&v[1..], &[f64::NEG_INFINITY, -1.0, 2.0, f64::INFINITY]);
+        // Descending via the reversed comparator: NaN ends up last.
+        v.sort_by(|a, b| cmp_nan_worst(b, a));
+        assert!(v[4].is_nan());
+        assert_eq!(v[0], f64::INFINITY);
+        // max_by never picks NaN over a number.
+        let best = [f64::NAN, 0.5, f64::NAN]
+            .iter()
+            .copied()
+            .max_by(cmp_nan_worst)
+            .unwrap();
+        assert_eq!(best, 0.5);
+    }
+
+    #[test]
+    fn cmp_nan_last_sorts_nan_to_the_end() {
+        let mut v = [f64::NAN, 1.0, -f64::NAN, 0.0, f64::INFINITY];
+        v.sort_by(cmp_nan_last);
+        assert_eq!(&v[..3], &[0.0, 1.0, f64::INFINITY]);
+        assert!(v[3].is_nan() && v[4].is_nan());
     }
 }

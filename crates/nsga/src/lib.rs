@@ -99,6 +99,28 @@ impl Nsga2 {
     where
         F: FnMut(&[f64]) -> Vec<f64>,
     {
+        self.run_batch(|xs| xs.iter().map(|x| objectives(x)).collect())
+    }
+
+    /// Like [`Nsga2::run`], but the objective closure scores a whole
+    /// population per call (one `Vec<f64>` of objective values per
+    /// individual, in input order).
+    ///
+    /// This is the hook that lets surrogate-backed acquisition searches
+    /// batch their posterior inference: every generation issues exactly one
+    /// call for the offspring population (plus one for the initial
+    /// population) instead of `pop_size` point-wise calls, so the caller
+    /// can amortise shared linear algebra and fan the batch out across
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure returns a different number of objective
+    /// vectors than it was given.
+    pub fn run_batch<F>(&self, mut objectives: F) -> Vec<ParetoPoint>
+    where
+        F: FnMut(&[Vec<f64>]) -> Vec<Vec<f64>>,
+    {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let pm = cfg.mutation_prob.unwrap_or(1.0 / cfg.dim as f64);
@@ -115,7 +137,8 @@ impl Nsga2 {
         while pop.len() < cfg.pop_size {
             pop.push((0..cfg.dim).map(|_| rng.gen::<f64>()).collect());
         }
-        let mut objs: Vec<Vec<f64>> = pop.iter().map(|x| objectives(x)).collect();
+        let mut objs: Vec<Vec<f64>> = objectives(&pop);
+        assert_eq!(objs.len(), pop.len(), "batch objective count mismatch");
 
         for _ in 0..cfg.generations {
             // Rank current population for tournament selection.
@@ -140,7 +163,12 @@ impl Nsga2 {
                     children.push(c2);
                 }
             }
-            let child_objs: Vec<Vec<f64>> = children.iter().map(|x| objectives(x)).collect();
+            let child_objs: Vec<Vec<f64>> = objectives(&children);
+            assert_eq!(
+                child_objs.len(),
+                children.len(),
+                "batch objective count mismatch"
+            );
 
             // Environmental selection over the union.
             pop.extend(children);
@@ -221,11 +249,9 @@ pub fn crowding_distance(objs: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     }
     for k in 0..m {
         let mut order: Vec<usize> = (0..front.len()).collect();
-        order.sort_by(|&a, &b| {
-            objs[front[a]][k]
-                .partial_cmp(&objs[front[b]][k])
-                .expect("NaN objective")
-        });
+        // NaN objectives (e.g. from a misbehaving simulator feeding the
+        // surrogate) rank last instead of aborting the run.
+        order.sort_by(|&a, &b| kato_linalg::cmp_nan_last(&objs[front[a]][k], &objs[front[b]][k]));
         let lo = objs[front[order[0]]][k];
         let hi = objs[front[order[front.len() - 1]]][k];
         let span = (hi - lo).max(1e-12);
@@ -275,7 +301,8 @@ fn select(objs: &[Vec<f64>], k: usize) -> Vec<usize> {
         } else {
             let dist = crowding_distance(objs, &front);
             let mut order: Vec<usize> = (0..front.len()).collect();
-            order.sort_by(|&a, &b| dist[b].partial_cmp(&dist[a]).expect("NaN crowding"));
+            // Descending crowding with NaN ranked last (worst).
+            order.sort_by(|&a, &b| kato_linalg::cmp_nan_worst(&dist[b], &dist[a]));
             for &w in order.iter().take(k - out.len()) {
                 out.push(front[w]);
             }
@@ -430,6 +457,49 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_matches_pointwise_run() {
+        let cfg = Nsga2Config {
+            dim: 2,
+            pop_size: 16,
+            generations: 6,
+            seed: 12,
+            ..Nsga2Config::default()
+        };
+        let obj = |x: &[f64]| vec![x[0], 1.0 - x[0] * x[1]];
+        let a = Nsga2::new(cfg.clone()).run(obj);
+        let b = Nsga2::new(cfg).run_batch(|xs| xs.iter().map(|x| obj(x)).collect());
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.x, pb.x);
+            assert_eq!(pa.objectives, pb.objectives);
+        }
+    }
+
+    #[test]
+    fn nan_objectives_do_not_panic() {
+        // A sub-region of the objective landscape returns NaN; the search
+        // must complete and still return finite non-dominated points.
+        let front = Nsga2::new(Nsga2Config {
+            dim: 2,
+            pop_size: 20,
+            generations: 10,
+            seed: 5,
+            ..Nsga2Config::default()
+        })
+        .run(|x| {
+            if x[0] < 0.3 {
+                vec![f64::NAN, f64::NAN]
+            } else {
+                vec![x[0], 1.0 - x[0]]
+            }
+        });
+        assert!(!front.is_empty());
+        assert!(front
+            .iter()
+            .any(|p| p.objectives.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let mk = || {
             Nsga2::new(Nsga2Config {
@@ -489,7 +559,9 @@ pub fn hypervolume_2d(points: &[Vec<f64>], reference: &[f64]) -> f64 {
         .collect();
     // Sort by first objective descending; sweep, keeping the running best of
     // the second objective to skip dominated points.
-    pts.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("NaN objective"));
+    // Descending by the first objective; NaN points sort last and, being
+    // non-dominating, contribute no area.
+    pts.sort_by(|x, y| kato_linalg::cmp_nan_worst(&y.0, &x.0));
     let mut hv = 0.0;
     let mut prev_y = reference[1];
     for &(x, y) in &pts {

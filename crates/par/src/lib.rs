@@ -1,0 +1,222 @@
+//! Scoped data-parallel helpers for the KATO workspace.
+//!
+//! Everything here is built on [`std::thread::scope`] — no external
+//! dependencies, no global pool, no `unsafe`. Work is split into contiguous
+//! chunks, one scoped worker per chunk, and results are re-assembled **in
+//! input order**, so as long as the per-item closure is a pure function of
+//! its input the output is *bitwise identical* for every thread count.
+//! That is the property the optimizer stack relies on: a seeded run under
+//! `KATO_THREADS=1` and `KATO_THREADS=8` produces the same trace.
+//!
+//! There is deliberately **no persistent pool**: each call spawns scoped OS
+//! threads and joins them before returning. That keeps the crate
+//! dependency- and state-free, but two consequences follow: (1) per-call
+//! spawn/join overhead (~tens of µs) means very fine-grained fan-outs
+//! should batch enough work per item to amortise it, and (2) **nested**
+//! fan-outs multiply — a `par_map` whose closure itself calls `par_map`
+//! can run up to `KATO_THREADS²` threads at once. The optimizer stack
+//! keeps nesting shallow (outer seed/proposer fan-outs over inner batched
+//! kernels); set `KATO_THREADS` to the physical core count, not higher.
+//!
+//! # Thread-count control
+//!
+//! The worker count comes from the `KATO_THREADS` environment variable when
+//! set to a positive integer, and from
+//! [`std::thread::available_parallelism`] otherwise (`0`, empty or
+//! unparsable values fall back to the same default). It is re-read on every
+//! call, so tests and long-lived processes can re-tune without restarting.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = kato_par::par_map(&[1.0_f64, 2.0, 3.0], |x| x * x);
+//! assert_eq!(squares, vec![1.0, 4.0, 9.0]);
+//! let (a, b) = kato_par::join(|| 2 + 2, || "two");
+//! assert_eq!((a, b), (4, "two"));
+//! ```
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads the helpers in this crate will use:
+/// `KATO_THREADS` when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 when even that is unknown).
+#[must_use]
+pub fn num_threads() -> usize {
+    match std::env::var("KATO_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn join_in_order<R>(handles: Vec<thread::ScopedJoinHandle<'_, Vec<R>>>, capacity: usize) -> Vec<R> {
+    let mut out = Vec::with_capacity(capacity);
+    for h in handles {
+        match h.join() {
+            Ok(part) => out.extend(part),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Applies `f` to every item, fanning out across the pool, and returns the
+/// results **in input order**. With one thread (or one item) this is exactly
+/// `items.iter().map(f).collect()`, so seeded pipelines stay reproducible
+/// across thread counts.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        join_in_order(handles, items.len())
+    })
+}
+
+/// Mutable sibling of [`par_map`]: applies `f` to every item through a
+/// mutable reference (e.g. warm-started surrogate refits) and returns the
+/// per-item results in input order.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let n = items.len();
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        join_in_order(handles, n)
+    })
+}
+
+/// Splits `items` into at most [`num_threads`] contiguous chunks, maps each
+/// chunk through `f` concurrently, and concatenates the per-chunk outputs
+/// in input order — the entry point for closures that already work on
+/// batches (e.g. one batched linear-algebra call per chunk).
+pub fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
+        join_in_order(handles, items.len())
+    })
+}
+
+/// Runs two closures concurrently (serially under a single-thread
+/// configuration) and returns both results.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    if num_threads() <= 1 {
+        return (a(), b());
+    }
+    thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        match ha.join() {
+            Ok(ra) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let out = par_map(&items, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_bitwise() {
+        let items: Vec<f64> = (0..57).map(|i| f64::from(i) * 0.37).collect();
+        let f = |x: &f64| (x.sin() * 1e3).exp().ln() + x.sqrt();
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        let parallel = par_map(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_handles_edge_sizes() {
+        assert!(par_map::<usize, usize, _>(&[], |&i| i).is_empty());
+        assert_eq!(par_map(&[7], |&i: &usize| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_mut_updates_in_place() {
+        let mut items: Vec<usize> = (0..41).collect();
+        let olds = par_map_mut(&mut items, |v| {
+            let old = *v;
+            *v += 100;
+            old
+        });
+        assert_eq!(olds, (0..41).collect::<Vec<_>>());
+        assert_eq!(items, (100..141).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_concatenates_in_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = par_chunks(&items, |c| c.iter().map(|&i| i + 1).collect());
+        assert_eq!(out, (1..38).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 21 * 2, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: the parallel runtime's determinism guarantee and batched
+//! inference consistency, end to end through `Kato::run`.
+//!
+//! `kato_par` re-reads `KATO_THREADS` on every call, and all fan-outs in
+//! the optimizer stack are order-preserving with per-work-item seeding, so
+//! a seeded run must produce a bitwise-identical `RunHistory` no matter how
+//! many worker threads are used. This is the property CI gates by running
+//! the suite under both `KATO_THREADS=1` and `KATO_THREADS=4`.
+
+use kato::{BoSettings, Kato, Mode, RunHistory, SourceData};
+use kato_circuits::{Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
+
+/// 2-D constrained toy: cheap enough to run the full loop many times.
+struct Toy {
+    vars: Vec<VarSpec>,
+    specs: Vec<Spec>,
+}
+
+impl Toy {
+    fn new() -> Self {
+        Toy {
+            vars: vec![VarSpec::lin("a", 0.0, 1.0), VarSpec::lin("b", 0.0, 1.0)],
+            specs: vec![
+                Spec {
+                    metric: 0,
+                    kind: SpecKind::Objective(Goal::Maximize),
+                },
+                Spec {
+                    metric: 1,
+                    kind: SpecKind::GreaterEq(0.4),
+                },
+            ],
+        }
+    }
+}
+
+impl SizingProblem for Toy {
+    fn name(&self) -> String {
+        "toy_parallel".into()
+    }
+    fn variables(&self) -> &[VarSpec] {
+        &self.vars
+    }
+    fn metric_names(&self) -> &[&'static str] {
+        &["obj", "con"]
+    }
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+    fn evaluate(&self, x: &[f64]) -> Metrics {
+        let obj = 1.0 - (x[0] - 0.7).powi(2) - (x[1] - 0.3).powi(2);
+        Metrics::new(vec![obj, x[0]])
+    }
+    fn expert_design(&self) -> Vec<f64> {
+        vec![0.7, 0.3]
+    }
+}
+
+/// Serialises the tests that mutate `KATO_THREADS` (tests in one binary run
+/// concurrently and the variable is process-global).
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn assert_histories_identical(a: &RunHistory, b: &RunHistory) {
+    assert_eq!(a.len(), b.len(), "trace lengths differ");
+    for (i, (ea, eb)) in a.evals.iter().zip(&b.evals).enumerate() {
+        assert_eq!(ea.x, eb.x, "design {i} differs");
+        assert_eq!(
+            ea.metrics.values(),
+            eb.metrics.values(),
+            "metrics {i} differ"
+        );
+        assert_eq!(ea.feasible, eb.feasible, "feasibility {i} differs");
+        assert!(
+            ea.score == eb.score
+                || (ea.score == f64::NEG_INFINITY && eb.score == f64::NEG_INFINITY),
+            "score {i} differs: {} vs {}",
+            ea.score,
+            eb.score
+        );
+    }
+}
+
+#[test]
+fn run_history_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let toy = Toy::new();
+    let run = || Kato::new(BoSettings::quick(26, 19)).run(&toy, Mode::Constrained);
+
+    std::env::set_var("KATO_THREADS", "1");
+    let serial = run();
+    std::env::set_var("KATO_THREADS", "4");
+    let parallel = run();
+    std::env::remove_var("KATO_THREADS");
+
+    assert_eq!(serial.len(), 26);
+    assert_histories_identical(&serial, &parallel);
+}
+
+#[test]
+fn transfer_run_identical_across_thread_counts() {
+    // The transfer stack adds parallel KAT-GP restarts and the concurrent
+    // P1/P2 proposal fan-out; it must be thread-count-invariant too.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let toy = Toy::new();
+    let run = || {
+        let source = SourceData::from_problem_random(&toy, 30, 3);
+        Kato::new(BoSettings::quick(22, 7))
+            .with_source(source)
+            .run(&toy, Mode::Constrained)
+    };
+
+    std::env::set_var("KATO_THREADS", "1");
+    let serial = run();
+    std::env::set_var("KATO_THREADS", "4");
+    let parallel = run();
+    std::env::remove_var("KATO_THREADS");
+
+    assert_eq!(serial.len(), 22);
+    assert_histories_identical(&serial, &parallel);
+}
