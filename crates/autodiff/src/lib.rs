@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Tape-based reverse-mode automatic differentiation.
 //!
 //! The KATO paper trains its Neural Kernel (Neuk) and the encoder/decoder of

@@ -1,0 +1,428 @@
+//! `kato` — command-line front end for the scenario registry.
+//!
+//! Runs any registered sizing scenario end to end through [`Kato::run`]
+//! without writing code:
+//!
+//! ```bash
+//! kato list
+//! kato run ldo --tech 40nm --seeds 2 --out results/ldo.json
+//! kato run opamp2 --corner ss_125c --budget 60
+//! kato run telescopic --corner worst          # optimise the worst corner
+//! kato transfer opamp2 folded_cascode         # KATO vs KATO+TL
+//! ```
+//!
+//! Budgets default to a quick profile (40 simulations) so every command
+//! finishes in seconds; raise `--budget` for real experiments. Results are
+//! written as JSON under `results/` (override with `--out`).
+
+use kato::{corner_audit, BoSettings, Kato, Mode, RunHistory, SourceData, WorstCaseProblem};
+use kato_bench::json::Json;
+use kato_bench::{final_stats, mean_sims_to_reach, run_seeds};
+use kato_circuits::{Corner, ScenarioRegistry, SizingProblem};
+use std::process::ExitCode;
+
+const USAGE: &str = "kato — transistor-sizing scenarios from the KATO reproduction
+
+USAGE:
+    kato list
+    kato run <scenario> [--tech <node>] [--corner <c>|worst] [--seeds <n>]
+                        [--budget <b>] [--out <path>]
+    kato transfer <src> <dst> [--tech <node>] [--src-tech <node>]
+                        [--seeds <n>] [--budget <b>] [--source-n <m>]
+                        [--out <path>]
+
+SUBCOMMANDS:
+    list        show every registered scenario with tech nodes and corners
+    run         optimise one scenario with KATO (constrained mode)
+    transfer    optimise <dst> plain and with a <src> knowledge archive
+
+OPTIONS:
+    --tech <node>    tech card (default: the scenario's default node)
+    --corner <c>     PVT corner name (tt, ss_125c, ff_m40c, ...) or
+                     'worst' to optimise the across-corner worst case
+    --seeds <n>      independent repetitions (default 1)
+    --budget <b>     simulations per run, incl. 10 random init (default 40)
+    --source-n <m>   source archive size for transfer (default 120)
+    --out <path>     results JSON path (default results/kato_<...>.json)
+";
+
+fn seed_list(n: usize) -> Vec<u64> {
+    const BASE: [u64; 5] = [11, 23, 37, 53, 71];
+    (0..n).map(|i| BASE[i % 5] + 100 * (i / 5) as u64).collect()
+}
+
+/// Parsed `--key value` options after the positional arguments.
+struct Opts {
+    tech: Option<String>,
+    src_tech: Option<String>,
+    corner: Option<String>,
+    seeds: usize,
+    budget: usize,
+    source_n: usize,
+    out: Option<String>,
+}
+
+fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        tech: None,
+        src_tech: None,
+        corner: None,
+        seeds: 1,
+        budget: 40,
+        source_n: 120,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        // Reject flags another subcommand owns instead of silently
+        // swallowing them (e.g. `transfer --corner ...` would otherwise
+        // run at TT while looking corner-aware).
+        if flag.starts_with("--") && !allowed.contains(&flag.as_str()) {
+            return Err(format!(
+                "option '{flag}' is not supported by '{subcommand}'"
+            ));
+        }
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--tech" => opts.tech = Some(value()?),
+            "--src-tech" => opts.src_tech = Some(value()?),
+            "--corner" => opts.corner = Some(value()?),
+            "--seeds" => {
+                opts.seeds = value()?
+                    .parse()
+                    .map_err(|_| "unparsable --seeds".to_string())?;
+            }
+            "--budget" => {
+                opts.budget = value()?
+                    .parse()
+                    .map_err(|_| "unparsable --budget".to_string())?;
+            }
+            "--source-n" => {
+                opts.source_n = value()?
+                    .parse()
+                    .map_err(|_| "unparsable --source-n".to_string())?;
+            }
+            "--out" => opts.out = Some(value()?),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn cmd_list(registry: &ScenarioRegistry) {
+    println!(
+        "{:<16} {:<12} {:<4} {:<28} corners",
+        "scenario", "tech nodes", "dim", "metrics"
+    );
+    for s in registry.scenarios() {
+        let p = s.build_default();
+        let corners: Vec<String> = s.corners.iter().map(Corner::name).collect();
+        println!(
+            "{:<16} {:<12} {:<4} {:<28} {}",
+            s.name,
+            s.tech_names.join(","),
+            p.dim(),
+            p.metric_names().join(","),
+            corners.join(",")
+        );
+        println!("{:<16} {}", "", s.summary);
+    }
+}
+
+fn metrics_obj(problem: &dyn SizingProblem, values: &[f64]) -> Json {
+    Json::Obj(
+        problem
+            .metric_names()
+            .iter()
+            .zip(values)
+            .map(|(n, &v)| ((*n).to_string(), Json::Num(v)))
+            .collect(),
+    )
+}
+
+fn best_json(problem: &dyn SizingProblem, history: &RunHistory) -> Json {
+    match history.best() {
+        Some(best) => Json::obj(vec![
+            ("score", Json::Num(best.score)),
+            ("feasible", Json::Bool(best.feasible)),
+            ("x", Json::nums(&best.x)),
+            ("metrics", metrics_obj(problem, best.metrics.values())),
+        ]),
+        None => Json::Null,
+    }
+}
+
+fn write_json(path: &str, doc: &Json) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("[written {path}]");
+    Ok(())
+}
+
+fn quick_settings(budget: usize, seed: u64) -> BoSettings {
+    let mut s = BoSettings::quick(budget, seed);
+    s.n_init = s.n_init.min(budget.saturating_sub(1).max(1));
+    s
+}
+
+fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), String> {
+    let scenario = registry.get(name).map_err(|e| e.to_string())?;
+    let tech = opts.tech.as_deref().unwrap_or(scenario.default_tech);
+    let corner_arg = opts.corner.as_deref().unwrap_or("tt");
+
+    // Build the problem: a single named corner, or the worst-case wrapper.
+    let worst = corner_arg == "worst";
+    let problem: Box<dyn SizingProblem> = if worst {
+        Box::new(WorstCaseProblem::new(scenario, tech).map_err(|e| e.to_string())?)
+    } else {
+        registry
+            .build(name, Some(tech), Some(corner_arg))
+            .map_err(|e| e.to_string())?
+    };
+    println!(
+        "run: {} (dim {}, budget {}, {} seed(s))",
+        problem.name(),
+        problem.dim(),
+        opts.budget,
+        opts.seeds
+    );
+
+    let seeds = seed_list(opts.seeds);
+    let histories = run_seeds(&seeds, |seed| {
+        Kato::new(quick_settings(opts.budget, seed)).run(problem.as_ref(), Mode::Constrained)
+    });
+
+    let mut runs = Vec::new();
+    for h in &histories {
+        match h.best() {
+            Some(b) => println!(
+                "  seed {:>3}: best score {:.4} after {} sims  {}",
+                h.seed,
+                b.score,
+                h.len(),
+                b.metrics
+            ),
+            None => println!("  seed {:>3}: nothing feasible in {} sims", h.seed, h.len()),
+        }
+        runs.push(Json::obj(vec![
+            ("seed", Json::Num(h.seed as f64)),
+            ("n_evals", Json::Num(h.len() as f64)),
+            ("best", best_json(problem.as_ref(), h)),
+        ]));
+    }
+    let n_feasible = histories.iter().filter(|h| h.best().is_some()).count();
+    if n_feasible > 0 {
+        let (mean, std) = final_stats(&histories);
+        println!(
+            "  final best over seeds: {mean:.4} +/- {std:.4} ({n_feasible}/{} seeds feasible)",
+            histories.len()
+        );
+    }
+
+    // Corner audit of the best design found (single-corner runs only; a
+    // worst-case run already evaluated every corner per simulation).
+    let mut audit_json = Vec::new();
+    if !worst {
+        if let Some(best) = histories
+            .iter()
+            .filter_map(RunHistory::best)
+            .max_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        {
+            let audit = corner_audit(scenario, tech, &best.x).map_err(|e| e.to_string())?;
+            println!("  corner audit of the best design:");
+            for eval in &audit {
+                println!(
+                    "    {:<8} feasible={:<5} {}",
+                    eval.corner.name(),
+                    eval.feasible,
+                    eval.metrics
+                );
+                audit_json.push(Json::obj(vec![
+                    ("corner", Json::str(eval.corner.name())),
+                    ("feasible", Json::Bool(eval.feasible)),
+                    (
+                        "metrics",
+                        metrics_obj(problem.as_ref(), eval.metrics.values()),
+                    ),
+                ]));
+            }
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("command", Json::str("run")),
+        ("scenario", Json::str(name)),
+        ("tech", Json::str(tech)),
+        ("corner", Json::str(corner_arg)),
+        ("budget", Json::Num(opts.budget as f64)),
+        (
+            "seeds",
+            Json::nums(&seeds.iter().map(|&s| s as f64).collect::<Vec<_>>()),
+        ),
+        ("runs", Json::Arr(runs)),
+        ("corner_audit", Json::Arr(audit_json)),
+    ]);
+    let default_path = format!("results/kato_run_{name}_{tech}_{corner_arg}.json");
+    write_json(opts.out.as_deref().unwrap_or(&default_path), &doc)
+}
+
+fn cmd_transfer(
+    registry: &ScenarioRegistry,
+    src_name: &str,
+    dst_name: &str,
+    opts: &Opts,
+) -> Result<(), String> {
+    let src_scenario = registry.get(src_name).map_err(|e| e.to_string())?;
+    let dst_scenario = registry.get(dst_name).map_err(|e| e.to_string())?;
+    let src_tech = opts
+        .src_tech
+        .as_deref()
+        .unwrap_or(src_scenario.default_tech);
+    let dst_tech = opts.tech.as_deref().unwrap_or(dst_scenario.default_tech);
+    let source = src_scenario
+        .build(src_tech, &Corner::tt())
+        .map_err(|e| e.to_string())?;
+    let target = dst_scenario
+        .build(dst_tech, &Corner::tt())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "transfer: {} -> {} (source archive {}, budget {}, {} seed(s))",
+        source.name(),
+        target.name(),
+        opts.source_n,
+        opts.budget,
+        opts.seeds
+    );
+
+    let seeds = seed_list(opts.seeds);
+    let plain = run_seeds(&seeds, |seed| {
+        Kato::new(quick_settings(opts.budget, seed)).run(target.as_ref(), Mode::Constrained)
+    });
+    let with_tl = run_seeds(&seeds, |seed| {
+        let archive = SourceData::from_problem_random(source.as_ref(), opts.source_n, seed ^ 0xA5);
+        Kato::new(quick_settings(opts.budget, seed))
+            .with_source(archive)
+            .with_label("KATO+TL")
+            .run(target.as_ref(), Mode::Constrained)
+    });
+
+    let report = |label: &str, hs: &[RunHistory]| {
+        let feasible = hs.iter().filter(|h| h.best().is_some()).count();
+        if feasible == 0 {
+            println!("  {label} found nothing feasible in {} sims", opts.budget);
+        } else {
+            let (mean, std) = final_stats(hs);
+            println!(
+                "  {label} final best: {mean:.4} +/- {std:.4} ({feasible}/{} seeds feasible)",
+                hs.len()
+            );
+        }
+    };
+    report("KATO   ", &plain);
+    report("KATO+TL", &with_tl);
+    let plain_feasible = plain.iter().filter(|h| h.best().is_some()).count();
+    if plain_feasible > 0 {
+        let (plain_mean, _) = final_stats(&plain);
+        let tl_sims = mean_sims_to_reach(&with_tl, plain_mean);
+        let plain_sims = mean_sims_to_reach(&plain, plain_mean);
+        if tl_sims > 0.0 {
+            println!(
+                "  speed-up to plain-KATO final best: {:.2}x",
+                plain_sims / tl_sims
+            );
+        }
+    }
+
+    let run_list = |hs: &[RunHistory]| {
+        Json::Arr(
+            hs.iter()
+                .map(|h| {
+                    Json::obj(vec![
+                        ("seed", Json::Num(h.seed as f64)),
+                        ("n_evals", Json::Num(h.len() as f64)),
+                        ("best", best_json(target.as_ref(), h)),
+                        ("best_curve", Json::nums(&h.best_curve())),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let doc = Json::obj(vec![
+        ("command", Json::str("transfer")),
+        ("source", Json::str(source.name())),
+        ("target", Json::str(target.name())),
+        ("budget", Json::Num(opts.budget as f64)),
+        ("source_n", Json::Num(opts.source_n as f64)),
+        ("kato", run_list(&plain)),
+        ("kato_tl", run_list(&with_tl)),
+    ]);
+    let default_path = format!("results/kato_transfer_{src_name}_to_{dst_name}.json");
+    write_json(opts.out.as_deref().unwrap_or(&default_path), &doc)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = ScenarioRegistry::standard();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list(&registry);
+            Ok(())
+        }
+        Some("run") => match args.get(1) {
+            Some(name) if !name.starts_with("--") => parse_opts(
+                "run",
+                &["--tech", "--corner", "--seeds", "--budget", "--out"],
+                &args[2..],
+            )
+            .and_then(|opts| cmd_run(&registry, name, &opts)),
+            _ => Err("run needs a scenario name (try 'kato list')".to_string()),
+        },
+        Some("transfer") => match (args.get(1), args.get(2)) {
+            (Some(src), Some(dst)) if !src.starts_with("--") && !dst.starts_with("--") => {
+                parse_opts(
+                    "transfer",
+                    &[
+                        "--tech",
+                        "--src-tech",
+                        "--seeds",
+                        "--budget",
+                        "--source-n",
+                        "--out",
+                    ],
+                    &args[3..],
+                )
+                .and_then(|opts| cmd_transfer(&registry, src, dst, &opts))
+            }
+            _ => Err("transfer needs <src> and <dst> scenario names".to_string()),
+        },
+        Some("help" | "--help" | "-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run 'kato help' for usage");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal JSON document builder for the CLI's result files.
+//!
+//! The workspace vendors no serde, so results are serialised through this
+//! small value tree instead. Output is deterministic (object keys keep
+//! insertion order) and non-finite numbers — which a sizing run produces
+//! legitimately, e.g. a `−∞` score before anything is feasible — are
+//! written as `null`, matching what `JSON.parse`-style consumers expect.
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// A number; non-finite values serialise as `null`.
+    Num(f64),
+    /// A string (escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for an array of numbers.
+    #[must_use]
+    pub fn nums(values: &[f64]) -> Self {
+        Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Shortest round-trip representation; integers print
+                    // without a trailing ".0" which JSON also accepts.
+                    write!(f, "{v}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape(s, &mut buf);
+                write!(f, "\"{buf}\"")
+            }
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut buf = String::with_capacity(k.len() + 2);
+                    escape(k, &mut buf);
+                    write!(f, "\"{buf}\":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialise() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_keep_order() {
+        let doc = Json::obj(vec![
+            ("b", Json::Num(2.0)),
+            ("a", Json::Arr(vec![Json::Num(1.0), Json::Null])),
+        ]);
+        assert_eq!(doc.to_string(), "{\"b\":2,\"a\":[1,null]}");
+    }
+
+    #[test]
+    fn nums_helper_maps_slice() {
+        assert_eq!(Json::nums(&[1.0, 0.5]).to_string(), "[1,0.5]");
+    }
+}

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Experiment harness shared by the per-figure/per-table binaries.
 //!
 //! Every binary regenerates one artefact of the KATO paper's evaluation
@@ -6,6 +8,8 @@
 //!
 //! Binaries default to a **quick profile** (2 seeds, reduced budgets) and
 //! accept `--full` for paper-scale runs.
+
+pub mod json;
 
 use kato::RunHistory;
 use std::fs;

@@ -1,0 +1,165 @@
+//! Smoke tests for the `kato` CLI binary: every subcommand must complete
+//! against the real registry, and the `run` path must work end to end on
+//! each of the new MNA testbenches with a small budget (one BO iteration
+//! on top of the random init).
+
+use std::process::Command;
+
+fn kato() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kato"))
+}
+
+fn out_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("kato_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn list_shows_every_registered_scenario() {
+    let out = kato().arg("list").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "opamp2",
+        "opamp3",
+        "bandgap",
+        "folded_cascode",
+        "telescopic",
+        "ldo",
+    ] {
+        assert!(text.contains(name), "list output missing {name}:\n{text}");
+    }
+    assert!(text.contains("ss_125c"), "corners missing:\n{text}");
+}
+
+#[test]
+fn run_completes_on_each_new_testbench() {
+    for scenario in ["folded_cascode", "telescopic", "ldo"] {
+        let path = out_path(&format!("run_{scenario}.json"));
+        let out = kato()
+            .args([
+                "run",
+                scenario,
+                "--budget",
+                "15",
+                "--seeds",
+                "1",
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{scenario}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            json.contains(&format!("\"scenario\":\"{scenario}\"")),
+            "{json}"
+        );
+        assert!(json.contains("\"runs\":["), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn run_supports_tech_and_corner_flags() {
+    let path = out_path("run_flags.json");
+    let out = kato()
+        .args([
+            "run",
+            "ldo",
+            "--tech",
+            "40nm",
+            "--corner",
+            "ss_125c",
+            "--budget",
+            "12",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"tech\":\"40nm\""), "{json}");
+    assert!(json.contains("\"corner\":\"ss_125c\""), "{json}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn transfer_completes_and_writes_json() {
+    let path = out_path("transfer.json");
+    let out = kato()
+        .args([
+            "transfer",
+            "opamp2",
+            "folded_cascode",
+            "--budget",
+            "15",
+            "--seeds",
+            "1",
+            "--source-n",
+            "20",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"source\":\"opamp2_180nm\""), "{json}");
+    assert!(json.contains("\"kato_tl\":["), "{json}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unknown_scenario_is_a_clean_error() {
+    let out = kato().args(["run", "opamp9"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("opamp9") && err.contains("available"), "{err}");
+}
+
+#[test]
+fn foreign_subcommand_flags_are_rejected_not_swallowed() {
+    // `transfer --corner ...` would otherwise silently run at TT.
+    let out = kato()
+        .args(["transfer", "opamp2", "opamp3", "--corner", "ss_125c"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--corner") && err.contains("transfer"),
+        "{err}"
+    );
+
+    let out = kato()
+        .args(["run", "opamp2", "--source-n", "10"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = kato().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("USAGE") && text.contains("transfer"),
+        "{text}"
+    );
+}

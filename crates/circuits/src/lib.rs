@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Benchmark analog circuits and sizing problems for KATO.
 //!
 //! The KATO paper (DAC 2024) evaluates on three circuits, each implemented
@@ -37,15 +39,25 @@
 //! ```
 
 mod bandgap;
+mod corner;
+mod folded_cascode;
 mod fom;
+mod ldo;
 mod opamp2;
 mod opamp3;
 mod problem;
+mod registry;
 mod tech;
+mod telescopic;
 
 pub use bandgap::Bandgap;
+pub use corner::{Corner, Process};
+pub use folded_cascode::FoldedCascodeOpAmp;
 pub use fom::{FomNormalization, FomSpec};
+pub use ldo::Ldo;
 pub use opamp2::TwoStageOpAmp;
 pub use opamp3::ThreeStageOpAmp;
 pub use problem::{random_design, Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
+pub use registry::{Scenario, ScenarioError, ScenarioRegistry};
 pub use tech::TechNode;
+pub use telescopic::TelescopicOpAmp;

@@ -1,0 +1,388 @@
+//! Scenario registry: every sizing problem in the workspace, registered by
+//! name with its technology nodes and corner sweep.
+//!
+//! The registry is the single place a new circuit has to be added to become
+//! available everywhere — the `kato` CLI, the corner audit in `kato`
+//! (core), the integration tests and the benchmark binaries all enumerate
+//! scenarios through [`ScenarioRegistry::standard`] instead of hard-wiring
+//! problem constructors.
+
+use crate::corner::Corner;
+use crate::problem::SizingProblem;
+use crate::tech::TechNode;
+use crate::{Bandgap, FoldedCascodeOpAmp, Ldo, TelescopicOpAmp, ThreeStageOpAmp, TwoStageOpAmp};
+use std::fmt;
+
+/// Error returned by registry lookups and builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// No scenario registered under this name.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered scenario name, for the error message.
+        available: Vec<String>,
+    },
+    /// The scenario exists but is not registered on this technology node.
+    UnknownTech {
+        /// The scenario that was found.
+        scenario: String,
+        /// The tech-node name that failed to resolve.
+        tech: String,
+        /// Nodes the scenario is registered on.
+        available: Vec<String>,
+    },
+    /// The corner name was malformed (or a corner set was empty).
+    BadCorner {
+        /// The scenario that was found.
+        scenario: String,
+        /// Why the corner was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownScenario { name, available } => {
+                write!(
+                    f,
+                    "unknown scenario '{name}' (available: {})",
+                    available.join(", ")
+                )
+            }
+            ScenarioError::UnknownTech {
+                scenario,
+                tech,
+                available,
+            } => write!(
+                f,
+                "scenario '{scenario}' has no tech node '{tech}' (available: {})",
+                available.join(", ")
+            ),
+            ScenarioError::BadCorner { scenario, reason } => {
+                write!(f, "bad corner for scenario '{scenario}': {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One registered sizing scenario: a circuit family, the technology nodes
+/// it is characterised on, and its PVT corner sweep.
+///
+/// The spec preset (objective + constraint table) lives inside the circuit
+/// constructor and is tech-node dependent (e.g. the op-amp gain bounds
+/// relax at 40 nm); [`Scenario::build`] returns the fully specified
+/// [`SizingProblem`].
+pub struct Scenario {
+    /// Registry key, e.g. `"folded_cascode"` (no tech suffix).
+    pub name: &'static str,
+    /// One-line description for `kato list` and docs.
+    pub summary: &'static str,
+    /// Tech nodes this scenario is registered on.
+    pub tech_names: &'static [&'static str],
+    /// Node used when the caller does not specify one.
+    pub default_tech: &'static str,
+    /// PVT corners the scenario is swept over.
+    pub corners: Vec<Corner>,
+    build: fn(TechNode) -> Box<dyn SizingProblem>,
+}
+
+impl Scenario {
+    /// Registers a new scenario from its parts. `build` receives the tech
+    /// card already shifted to the requested corner.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        summary: &'static str,
+        tech_names: &'static [&'static str],
+        default_tech: &'static str,
+        corners: Vec<Corner>,
+        build: fn(TechNode) -> Box<dyn SizingProblem>,
+    ) -> Self {
+        Scenario {
+            name,
+            summary,
+            tech_names,
+            default_tech,
+            corners,
+            build,
+        }
+    }
+
+    /// Builds the problem on a named tech node at a corner.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownTech`] when `tech` is not registered for
+    /// this scenario.
+    pub fn build(
+        &self,
+        tech: &str,
+        corner: &Corner,
+    ) -> Result<Box<dyn SizingProblem>, ScenarioError> {
+        if !self.tech_names.contains(&tech) {
+            return Err(ScenarioError::UnknownTech {
+                scenario: self.name.to_string(),
+                tech: tech.to_string(),
+                available: self.tech_names.iter().map(ToString::to_string).collect(),
+            });
+        }
+        let node = TechNode::by_name(tech).ok_or_else(|| ScenarioError::UnknownTech {
+            scenario: self.name.to_string(),
+            tech: tech.to_string(),
+            available: self.tech_names.iter().map(ToString::to_string).collect(),
+        })?;
+        Ok((self.build)(node.at_corner(corner)))
+    }
+
+    /// Builds the problem on its default tech node at the nominal corner.
+    #[must_use]
+    pub fn build_default(&self) -> Box<dyn SizingProblem> {
+        self.build(self.default_tech, &Corner::tt())
+            .expect("default tech is always registered")
+    }
+
+    /// Parses a corner name for this scenario. Any well-formed corner is
+    /// accepted — the registered sweep is the characterisation set, not a
+    /// whitelist, so `"tt"`-style bare process names (27 °C) and
+    /// off-sweep probe corners like `ss_85c` both build.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::BadCorner`] when the name is malformed.
+    pub fn corner(&self, name: &str) -> Result<Corner, ScenarioError> {
+        Corner::parse(name).map_err(|reason| ScenarioError::BadCorner {
+            scenario: self.name.to_string(),
+            reason,
+        })
+    }
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("tech_names", &self.tech_names)
+            .field("corners", &self.corners.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The registry: an ordered collection of [`Scenario`]s addressable by
+/// name.
+#[derive(Debug)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// The standard registry: every circuit in the workspace, each on both
+    /// tech cards (except the bandgap, which the paper characterises at
+    /// 180 nm only), each with the standard five-corner PVT sweep.
+    #[must_use]
+    pub fn standard() -> Self {
+        let both: &'static [&'static str] = &["180nm", "40nm"];
+        let scenarios = vec![
+            Scenario {
+                name: "opamp2",
+                summary: "Miller two-stage OTA: min I s.t. gain/PM/GBW (paper Eq. 15)",
+                tech_names: both,
+                default_tech: "180nm",
+                corners: Corner::standard_sweep(),
+                build: |node| Box::new(TwoStageOpAmp::new(node)),
+            },
+            Scenario {
+                name: "opamp3",
+                summary: "nested-Miller three-stage OTA: min I s.t. gain/PM/GBW (paper Eq. 16)",
+                tech_names: both,
+                default_tech: "180nm",
+                corners: Corner::standard_sweep(),
+                build: |node| Box::new(ThreeStageOpAmp::new(node)),
+            },
+            Scenario {
+                name: "bandgap",
+                summary: "ΔVBE/R bandgap reference: min TC s.t. I/PSRR (paper Eq. 17)",
+                tech_names: &["180nm"],
+                default_tech: "180nm",
+                // Process corners only: the bandgap's figure of merit is
+                // already a −40…125 °C sweep internally, so ambient-
+                // temperature corners would just duplicate the TT rows.
+                corners: Corner::process_sweep(),
+                build: |node| Box::new(Bandgap::new(node)),
+            },
+            Scenario {
+                name: "folded_cascode",
+                summary: "single-stage folded-cascode OTA: min I s.t. gain/PM/GBW",
+                tech_names: both,
+                default_tech: "180nm",
+                corners: Corner::standard_sweep(),
+                build: |node| Box::new(FoldedCascodeOpAmp::new(node)),
+            },
+            Scenario {
+                name: "telescopic",
+                summary: "telescopic-cascode OTA: min I s.t. gain/PM/GBW (headroom-bound)",
+                tech_names: both,
+                default_tech: "180nm",
+                corners: Corner::standard_sweep(),
+                build: |node| Box::new(TelescopicOpAmp::new(node)),
+            },
+            Scenario {
+                name: "ldo",
+                summary: "PMOS low-dropout regulator: min I_q s.t. dropout/PSRR/PM",
+                tech_names: both,
+                default_tech: "180nm",
+                corners: Corner::standard_sweep(),
+                build: |node| Box::new(Ldo::new(node)),
+            },
+        ];
+        ScenarioRegistry { scenarios }
+    }
+
+    /// Adds a scenario to the registry (appended after the standard set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario with the same name is already registered.
+    pub fn register(&mut self, scenario: Scenario) {
+        assert!(
+            self.scenarios.iter().all(|s| s.name != scenario.name),
+            "scenario '{}' registered twice",
+            scenario.name
+        );
+        self.scenarios.push(scenario);
+    }
+
+    /// Registered scenario names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.scenarios.iter().map(|s| s.name).collect()
+    }
+
+    /// All scenarios, in registration order.
+    #[must_use]
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Looks a scenario up by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownScenario`] listing every registered name.
+    pub fn get(&self, name: &str) -> Result<&Scenario, ScenarioError> {
+        self.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| ScenarioError::UnknownScenario {
+                name: name.to_string(),
+                available: self.names().iter().map(ToString::to_string).collect(),
+            })
+    }
+
+    /// Convenience: lookup + build in one call. `tech`/`corner` of `None`
+    /// use the scenario's default tech node and the nominal TT corner.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioError`] from the lookup, tech resolution or corner
+    /// parse.
+    pub fn build(
+        &self,
+        name: &str,
+        tech: Option<&str>,
+        corner: Option<&str>,
+    ) -> Result<Box<dyn SizingProblem>, ScenarioError> {
+        let scenario = self.get(name)?;
+        let corner = match corner {
+            Some(c) => scenario.corner(c)?,
+            None => Corner::tt(),
+        };
+        scenario.build(tech.unwrap_or(scenario.default_tech), &corner)
+    }
+}
+
+impl Default for ScenarioRegistry {
+    fn default() -> Self {
+        ScenarioRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_at_least_six_scenarios() {
+        let reg = ScenarioRegistry::standard();
+        assert!(reg.names().len() >= 6, "{:?}", reg.names());
+        for expected in [
+            "opamp2",
+            "opamp3",
+            "bandgap",
+            "folded_cascode",
+            "telescopic",
+            "ldo",
+        ] {
+            assert!(reg.names().contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_available_list() {
+        let reg = ScenarioRegistry::standard();
+        let err = reg.get("opamp9").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("opamp9") && msg.contains("opamp2"), "{msg}");
+
+        let err = reg
+            .build("bandgap", Some("40nm"), None)
+            .map(|p| p.name())
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownTech { .. }), "{err}");
+
+        let err = reg
+            .build("ldo", None, Some("sf_27c"))
+            .map(|p| p.name())
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadCorner { .. }), "{err}");
+    }
+
+    #[test]
+    fn build_produces_named_problems_on_both_techs() {
+        let reg = ScenarioRegistry::standard();
+        let p = reg.build("ldo", None, None).unwrap();
+        assert_eq!(p.name(), "ldo_180nm");
+        let p = reg.build("ldo", Some("40nm"), None).unwrap();
+        assert_eq!(p.name(), "ldo_40nm");
+    }
+
+    #[test]
+    fn corner_build_changes_the_evaluation() {
+        let reg = ScenarioRegistry::standard();
+        let nom = reg.build("opamp2", None, None).unwrap();
+        let ss_hot = reg.build("opamp2", None, Some("ss_125c")).unwrap();
+        let x = vec![0.5; nom.dim()];
+        assert_ne!(
+            nom.evaluate(&x),
+            ss_hot.evaluate(&x),
+            "corner must shift the physics"
+        );
+    }
+
+    #[test]
+    fn every_scenario_default_build_evaluates_finite_metrics() {
+        let reg = ScenarioRegistry::standard();
+        for s in reg.scenarios() {
+            let p = s.build_default();
+            let m = p.evaluate(&p.expert_design());
+            assert!(
+                m.values().iter().all(|v| v.is_finite()),
+                "{}: {m}",
+                p.name()
+            );
+        }
+    }
+}

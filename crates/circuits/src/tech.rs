@@ -1,3 +1,4 @@
+use crate::corner::Corner;
 use kato_mna::MosModel;
 
 /// Technology-node parameter card: the PDK substitute.
@@ -27,6 +28,9 @@ pub struct TechNode {
     pub l_max: f64,
     /// Output load capacitance the amplifiers must drive, F.
     pub c_load: f64,
+    /// Ambient temperature the testbenches evaluate at, °C. `27.0` on the
+    /// nominal cards; [`TechNode::at_corner`] overrides it.
+    pub temp_c: f64,
 }
 
 impl TechNode {
@@ -55,6 +59,7 @@ impl TechNode {
             l_min: 0.18e-6,
             l_max: 2.0e-6,
             c_load: 5e-12,
+            temp_c: 27.0,
         }
     }
 
@@ -83,6 +88,37 @@ impl TechNode {
             l_min: 0.04e-6,
             l_max: 0.6e-6,
             c_load: 5e-12,
+            temp_c: 27.0,
+        }
+    }
+
+    /// Looks a nominal card up by its display name (`"180nm"`, `"40nm"`).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "180nm" => Some(TechNode::n180()),
+            "40nm" => Some(TechNode::n40()),
+            _ => None,
+        }
+    }
+
+    /// This card shifted to a PVT corner: every MOS model's `KP` is scaled
+    /// and `Vth` shifted per [`crate::Process`], and the evaluation
+    /// temperature is set to the corner's. The supply voltage and geometry
+    /// limits are unchanged (supply corners are a testbench property, not a
+    /// device-card one).
+    #[must_use]
+    pub fn at_corner(&self, corner: &Corner) -> Self {
+        let shift = |m: &MosModel| MosModel {
+            kp: m.kp * corner.process.kp_scale(),
+            vth: m.vth + corner.process.vth_shift(),
+            ..*m
+        };
+        TechNode {
+            nmos: shift(&self.nmos),
+            pmos: shift(&self.pmos),
+            temp_c: corner.temp_c,
+            ..self.clone()
         }
     }
 
@@ -96,14 +132,30 @@ impl TechNode {
     /// Numerically inverts the DC model: the `Vgs` at which a device of size
     /// `(w, l)` biased at `vds` conducts `id_target`. Used to place
     /// macromodel devices at their intended operating points.
+    ///
+    /// Evaluates at 27 °C; corner-aware testbenches use
+    /// [`TechNode::vgs_for_current_at`] with the card's `temp_c`.
     #[must_use]
     pub fn vgs_for_current(model: &MosModel, w: f64, l: f64, vds: f64, id_target: f64) -> f64 {
+        Self::vgs_for_current_at(model, w, l, vds, id_target, 27.0)
+    }
+
+    /// Like [`TechNode::vgs_for_current`] at an explicit temperature.
+    #[must_use]
+    pub fn vgs_for_current_at(
+        model: &MosModel,
+        w: f64,
+        l: f64,
+        vds: f64,
+        id_target: f64,
+        temp_c: f64,
+    ) -> f64 {
         // Bisection on the monotone Id(Vgs) curve.
         let mut lo = 0.0;
         let mut hi = 3.0;
         for _ in 0..60 {
             let mid = 0.5 * (lo + hi);
-            let (id, _, _) = kato_mna::mos_iv_public(model, w, l, mid, vds, 27.0);
+            let (id, _, _) = kato_mna::mos_iv_public(model, w, l, mid, vds, temp_c);
             if id < id_target {
                 lo = mid;
             } else {
@@ -136,6 +188,26 @@ mod tests {
         let v1 = TechNode::overdrive(&n.nmos, 10.0, 10e-6);
         let v2 = TechNode::overdrive(&n.nmos, 10.0, 40e-6);
         assert!((v2 / v1 - 2.0).abs() < 1e-9); // sqrt(4) = 2
+    }
+
+    #[test]
+    fn corner_cards_shift_as_specified() {
+        use crate::corner::{Corner, Process};
+        let nom = TechNode::n180();
+        let ss_hot = nom.at_corner(&Corner::new(Process::Ss, 125.0));
+        assert!(ss_hot.nmos.vth > nom.nmos.vth);
+        assert!(ss_hot.nmos.kp < nom.nmos.kp);
+        assert_eq!(ss_hot.temp_c, 125.0);
+        assert_eq!(ss_hot.vdd, nom.vdd);
+        let tt = nom.at_corner(&Corner::tt());
+        assert_eq!(tt, nom);
+    }
+
+    #[test]
+    fn by_name_finds_both_cards() {
+        assert_eq!(TechNode::by_name("180nm").unwrap().name, "180nm");
+        assert_eq!(TechNode::by_name("40nm").unwrap().name, "40nm");
+        assert!(TechNode::by_name("7nm").is_none());
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Corner-aware evaluation: PVT sweeps over registered scenarios.
+//!
+//! Silicon must meet spec at every process/temperature corner, not just at
+//! the nominal point the optimizer sees. This module provides the two ways
+//! the rest of the stack consumes a scenario's corner sweep:
+//!
+//! * [`corner_audit`] — re-evaluate a finished design at every corner of
+//!   its scenario and report per-corner metrics/feasibility (the CLI's
+//!   post-run corner table).
+//! * [`WorstCaseProblem`] — a [`SizingProblem`] adapter that evaluates a
+//!   design at **all** corners and reports the per-metric worst case in
+//!   each spec's direction, so `Kato::run` optimises directly for
+//!   across-corner robustness (`kato run <scenario> --corner worst`).
+
+use kato_circuits::{
+    Corner, Goal, Metrics, Scenario, ScenarioError, SizingProblem, Spec, SpecKind, VarSpec,
+};
+
+/// One corner's re-evaluation of a fixed design.
+#[derive(Debug, Clone)]
+pub struct CornerEval {
+    /// The corner evaluated.
+    pub corner: Corner,
+    /// Metrics at that corner.
+    pub metrics: Metrics,
+    /// Whether the scenario's spec table is met at that corner.
+    pub feasible: bool,
+}
+
+/// Evaluates a unit-cube design at every corner in the scenario's sweep.
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`] when `tech` is not registered for the
+/// scenario.
+///
+/// # Panics
+///
+/// Panics (inside the problem) if `x.len()` does not match the scenario's
+/// dimensionality.
+pub fn corner_audit(
+    scenario: &Scenario,
+    tech: &str,
+    x: &[f64],
+) -> Result<Vec<CornerEval>, ScenarioError> {
+    let mut out = Vec::with_capacity(scenario.corners.len());
+    for corner in &scenario.corners {
+        let problem = scenario.build(tech, corner)?;
+        let metrics = problem.evaluate(x);
+        let feasible =
+            metrics.values().iter().all(|v| v.is_finite()) && metrics.feasible(problem.specs());
+        out.push(CornerEval {
+            corner: *corner,
+            metrics,
+            feasible,
+        });
+    }
+    Ok(out)
+}
+
+/// A sizing problem that scores each design by its **worst corner**.
+///
+/// Wraps one problem instance per corner of a scenario's sweep. Each
+/// evaluation runs every corner instance and assembles a synthetic metric
+/// vector taking, per metric, the worst value in that metric's spec
+/// direction (maximum for minimised/upper-bounded metrics, minimum for
+/// maximised/lower-bounded ones). A design is feasible for the wrapper iff
+/// it is feasible at every corner, which is exactly the robust-design
+/// criterion sign-off uses.
+///
+/// Metrics that appear in no spec default to "smaller is worse" (minimum),
+/// the conservative choice for report-only quantities.
+pub struct WorstCaseProblem {
+    name: String,
+    problems: Vec<Box<dyn SizingProblem>>,
+}
+
+impl WorstCaseProblem {
+    /// Builds the wrapper from a scenario's registered corner sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError`] for an unknown tech node; rejects
+    /// scenarios with an empty corner list.
+    pub fn new(scenario: &Scenario, tech: &str) -> Result<Self, ScenarioError> {
+        if scenario.corners.is_empty() {
+            return Err(ScenarioError::BadCorner {
+                scenario: scenario.name.to_string(),
+                reason: "scenario has an empty corner sweep".to_string(),
+            });
+        }
+        let mut problems = Vec::with_capacity(scenario.corners.len());
+        for corner in &scenario.corners {
+            problems.push(scenario.build(tech, corner)?);
+        }
+        Ok(WorstCaseProblem {
+            name: format!("{}_worstcase", problems[0].name()),
+            problems,
+        })
+    }
+
+    /// Number of corners evaluated per design.
+    #[must_use]
+    pub fn corner_count(&self) -> usize {
+        self.problems.len()
+    }
+
+    fn larger_is_worse(&self, metric: usize) -> bool {
+        self.problems[0].specs().iter().any(|s| {
+            s.metric == metric
+                && matches!(
+                    s.kind,
+                    SpecKind::Objective(Goal::Minimize) | SpecKind::LessEq(_)
+                )
+        })
+    }
+}
+
+impl SizingProblem for WorstCaseProblem {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn variables(&self) -> &[VarSpec] {
+        self.problems[0].variables()
+    }
+
+    fn metric_names(&self) -> &[&'static str] {
+        self.problems[0].metric_names()
+    }
+
+    fn specs(&self) -> &[Spec] {
+        self.problems[0].specs()
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Metrics {
+        // The corner instances are independent and deterministic, so they
+        // fan out over the kato_par pool (order-preserving; identical
+        // result at any KATO_THREADS).
+        let per_corner: Vec<Metrics> = kato_par::par_map(&self.problems, |p| p.evaluate(x));
+        let n = self.metric_names().len();
+        let mut worst = Vec::with_capacity(n);
+        for j in 0..n {
+            let larger_is_worse = self.larger_is_worse(j);
+            // A non-finite corner value (simulator breakdown the testbench
+            // did not penalise itself) IS the worst case — it must not be
+            // silently skipped by the fold the way f64::max/min drop NaN,
+            // or a design that dies at one corner would be certified
+            // robust. Surface it as ±∞ in the metric's "worse" direction;
+            // the history layer then records the design as infeasible.
+            let v = if per_corner.iter().any(|m| !m.get(j).is_finite()) {
+                if larger_is_worse {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                let vals = per_corner.iter().map(|m| m.get(j));
+                if larger_is_worse {
+                    vals.fold(f64::NEG_INFINITY, f64::max)
+                } else {
+                    vals.fold(f64::INFINITY, f64::min)
+                }
+            };
+            worst.push(v);
+        }
+        Metrics::new(worst)
+    }
+
+    fn expert_design(&self) -> Vec<f64> {
+        self.problems[0].expert_design()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kato_circuits::ScenarioRegistry;
+
+    #[test]
+    fn audit_covers_every_registered_corner() {
+        let reg = ScenarioRegistry::standard();
+        let s = reg.get("opamp2").unwrap();
+        let p = s.build_default();
+        let evals = corner_audit(s, "180nm", &p.expert_design()).unwrap();
+        assert_eq!(evals.len(), s.corners.len());
+        assert!(evals
+            .iter()
+            .all(|e| e.metrics.values().iter().all(|v| v.is_finite())));
+        // The nominal corner leads the standard sweep and the expert design
+        // is feasible there.
+        assert_eq!(evals[0].corner, Corner::tt());
+        assert!(evals[0].feasible);
+    }
+
+    #[test]
+    fn worst_case_is_no_better_than_nominal() {
+        let reg = ScenarioRegistry::standard();
+        let s = reg.get("opamp2").unwrap();
+        let wc = WorstCaseProblem::new(s, "180nm").unwrap();
+        let nominal = s.build_default();
+        let x = nominal.expert_design();
+        let m_nom = nominal.evaluate(&x);
+        let m_wc = wc.evaluate(&x);
+        // Objective (minimised current): worst ≥ nominal. Constraint
+        // margins: worst-case margin ≤ nominal margin.
+        assert!(m_wc.get(0) >= m_nom.get(0) - 1e-12, "{m_wc} vs {m_nom}");
+        for spec in nominal.specs() {
+            assert!(
+                spec.margin(m_wc.get(spec.metric)) <= spec.margin(m_nom.get(spec.metric)) + 1e-12,
+                "metric {}: wc {m_wc} nominal {m_nom}",
+                spec.metric
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_problem_delegates_shape() {
+        let reg = ScenarioRegistry::standard();
+        let s = reg.get("ldo").unwrap();
+        let wc = WorstCaseProblem::new(s, "180nm").unwrap();
+        let nominal = s.build_default();
+        assert_eq!(wc.dim(), nominal.dim());
+        assert_eq!(wc.metric_names(), nominal.metric_names());
+        assert_eq!(wc.corner_count(), s.corners.len());
+        assert!(wc.name().contains("worstcase"));
+    }
+
+    #[test]
+    fn nan_at_one_corner_is_the_worst_case_not_dropped() {
+        use kato_circuits::{Goal, Spec, SpecKind, TechNode, VarSpec};
+
+        /// Toy whose simulator "dies" (returns NaN) above 100 °C ambient.
+        struct HotDeath {
+            temp_c: f64,
+            vars: Vec<VarSpec>,
+            specs: Vec<Spec>,
+        }
+        impl SizingProblem for HotDeath {
+            fn name(&self) -> String {
+                "hot_death".into()
+            }
+            fn variables(&self) -> &[VarSpec] {
+                &self.vars
+            }
+            fn metric_names(&self) -> &[&'static str] {
+                &["obj", "con"]
+            }
+            fn specs(&self) -> &[Spec] {
+                &self.specs
+            }
+            fn evaluate(&self, x: &[f64]) -> Metrics {
+                if self.temp_c > 100.0 {
+                    Metrics::new(vec![f64::NAN, f64::NAN])
+                } else {
+                    Metrics::new(vec![x[0], 1.0])
+                }
+            }
+            fn expert_design(&self) -> Vec<f64> {
+                vec![0.5]
+            }
+        }
+        fn build(node: TechNode) -> Box<dyn SizingProblem> {
+            Box::new(HotDeath {
+                temp_c: node.temp_c,
+                vars: vec![VarSpec::lin("a", 0.0, 1.0)],
+                specs: vec![
+                    Spec {
+                        metric: 0,
+                        kind: SpecKind::Objective(Goal::Maximize),
+                    },
+                    Spec {
+                        metric: 1,
+                        kind: SpecKind::GreaterEq(0.5),
+                    },
+                ],
+            })
+        }
+        let scenario = Scenario::new(
+            "hot_death",
+            "toy that dies above 100C",
+            &["180nm"],
+            "180nm",
+            Corner::standard_sweep(), // includes two 125 °C corners
+            build,
+        );
+        let wc = WorstCaseProblem::new(&scenario, "180nm").unwrap();
+        let m = wc.evaluate(&[0.9]);
+        // The hot corners return NaN, so the worst case must surface as
+        // non-finite in the worse direction — not fold down to the finite
+        // cold-corner values.
+        assert_eq!(m.get(0), f64::NEG_INFINITY, "{m}");
+        assert_eq!(m.get(1), f64::NEG_INFINITY, "{m}");
+        assert!(!m.feasible(wc.specs()));
+    }
+
+    #[test]
+    fn unknown_tech_propagates() {
+        let reg = ScenarioRegistry::standard();
+        let s = reg.get("bandgap").unwrap();
+        assert!(WorstCaseProblem::new(s, "40nm").is_err());
+        assert!(corner_audit(s, "40nm", &[0.5; 6]).is_err());
+    }
+}

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! KATO — Knowledge Alignment and Transfer Optimization for transistor
 //! sizing (DAC 2024 reproduction).
 //!
@@ -33,6 +35,7 @@
 
 pub mod acquisition;
 pub mod baselines;
+pub mod corners;
 mod history;
 mod kato_opt;
 pub mod mace;
@@ -41,6 +44,7 @@ pub mod sampling;
 mod settings;
 pub mod stl;
 
+pub use corners::{corner_audit, CornerEval, WorstCaseProblem};
 pub use history::{EvalRecord, RunHistory};
 pub use kato_opt::{Kato, SourceData};
 pub use mace::{MaceProposer, MaceVariant};

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Random-forest regression with cross-tree uncertainty — the surrogate
 //! behind the SMAC-RF baseline of the KATO paper (§4.1 compares against
 //! SMAC).

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Gaussian processes with Neural Kernels and Knowledge-Alignment-and-
 //! Transfer (KAT) — the modelling core of KATO (DAC 2024).
 //!

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Dense linear algebra substrate for the KATO transistor-sizing stack.
 //!
 //! The KATO reproduction deliberately avoids third-party numerics crates, so

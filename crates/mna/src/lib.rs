@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Modified-nodal-analysis (MNA) circuit simulator.
 //!
 //! The KATO paper evaluates candidate transistor sizings with a commercial
@@ -49,7 +51,7 @@ mod netlist;
 pub use ac::{AcSweep, BodeData};
 pub use dc::{DcOptions, DcSolution};
 pub use error::MnaError;
-pub use measure::{phase_margin_deg, unity_gain_freq};
+pub use measure::{phase_margin_deg, psrr_db, unity_gain_freq};
 pub use netlist::{Circuit, DiodeModel, Element, ElementHandle, MosModel, MosType, NodeId};
 
 /// Evaluates the MOSFET DC model directly: returns `(Id, gm, gds)` for a

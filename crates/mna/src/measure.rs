@@ -1,5 +1,5 @@
-//! Bode-plot measurements used by the sizing loop: unity-gain frequency and
-//! phase margin.
+//! Bode-plot measurements used by the sizing loop: unity-gain frequency,
+//! phase margin and power-supply rejection.
 
 use crate::BodeData;
 
@@ -39,6 +39,17 @@ pub fn phase_margin_deg(bode: &BodeData) -> Option<f64> {
     let phases = bode.phases_deg_unwrapped();
     let lag = crate::ac::interp_log_f(bode.freqs(), &phases, fu) - phases[0];
     Some(180.0 + lag)
+}
+
+/// Power-supply rejection ratio in dB at `f_hz`, from a Bode sweep whose
+/// stimulus is a unit AC source on the supply and whose output is the
+/// regulated/reference node: `PSRR = −|v_out/v_supply|` in dB, so larger is
+/// better and 0 dB means the ripple passes straight through.
+///
+/// `f_hz` is clamped to the swept range by the underlying interpolation.
+#[must_use]
+pub fn psrr_db(bode: &BodeData, f_hz: f64) -> f64 {
+    -bode.interpolate_mag_db(f_hz)
 }
 
 #[cfg(test)]
@@ -97,6 +108,23 @@ mod tests {
         let pm = phase_margin_deg(&bode).unwrap();
         // Second pole at the unity crossing: PM ≈ 45°.
         assert!(pm > 20.0 && pm < 60.0, "phase margin {pm}");
+    }
+
+    #[test]
+    fn psrr_of_rc_supply_filter() {
+        // Supply ripple through an RC low-pass (fc ≈ 159 Hz): at 10 Hz the
+        // ripple passes (PSRR ≈ 0 dB), two decades above fc it is attenuated
+        // ~40 dB.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.vsource_ac(vdd, Circuit::GND, 1.8, 1.0);
+        ckt.resistor(vdd, out, 1e3);
+        ckt.capacitor(out, Circuit::GND, 1e-6);
+        let bode = ckt.ac_transfer(out, &AcSweep::log(1.0, 1e6, 121)).unwrap();
+        assert!(psrr_db(&bode, 10.0).abs() < 1.0, "{}", psrr_db(&bode, 10.0));
+        let hi = psrr_db(&bode, 15_915.0);
+        assert!((hi - 40.0).abs() < 1.5, "psrr two decades up: {hi}");
     }
 
     #[test]

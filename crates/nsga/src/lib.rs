@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! NSGA-II multi-objective genetic search.
 //!
 //! MACE (and KATO's modified constrained MACE, paper §3.3) propose batch

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Scoped data-parallel helpers for the KATO workspace.
 //!
 //! Everything here is built on [`std::thread::scope`] — no external

@@ -2,6 +2,11 @@
 //! benchmark (Eq. 17), exercising the full nonlinear DC solver with
 //! temperature sweeps rather than a small-signal macromodel.
 //!
+//! Each simulation is a 12-point Newton DC temperature sweep plus an AC
+//! PSRR solve, so the surrogate side stays cheap by comparison; the
+//! batched posterior and `KATO_THREADS`-wide parallel refits still apply
+//! to the optimizer loop around it.
+//!
 //! ```bash
 //! cargo run --release --example bandgap_tc
 //! ```

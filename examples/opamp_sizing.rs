@@ -1,6 +1,11 @@
 //! Head-to-head optimizer comparison on the three-stage op-amp - a small
 //! in-terminal version of the paper's Fig. 5(b).
 //!
+//! Every method here (KATO, MACE, random search) shares the batched
+//! surrogate engine: acquisition search scores NSGA-II populations in one
+//! batched posterior per metric, and model refits run in parallel on the
+//! `kato_par` pool (`KATO_THREADS` workers, deterministic at any count).
+//!
 //! ```bash
 //! cargo run --release --example opamp_sizing
 //! ```

@@ -1,8 +1,18 @@
 //! Quickstart: size a two-stage op-amp with KATO in under a minute.
 //!
+//! The optimizer runs the parallel batched engine by default: NSGA-II
+//! scores whole candidate populations through one batched GP posterior
+//! per metric, and per-metric fits/refits fan out over the `kato_par`
+//! pool. Set `KATO_THREADS` to control the worker count (`KATO_THREADS=1`
+//! forces serial execution; the trace is bitwise-identical either way).
+//!
 //! ```bash
 //! cargo run --release --example quickstart
+//! KATO_THREADS=4 cargo run --release --example quickstart   # same trace
 //! ```
+//!
+//! For the registry/CLI route to the same run, see
+//! `kato run opamp2` (ARCHITECTURE.md).
 
 use kato::{BoSettings, Kato, Mode};
 use kato_circuits::{SizingProblem, TechNode, TwoStageOpAmp};

@@ -1,9 +1,18 @@
 //! Knowledge transfer across technology nodes: size the 40 nm two-stage
 //! op-amp using 180 nm experience - the paper's Fig. 6(a) scenario.
 //!
+//! With a source attached, each iteration proposes from two surrogates
+//! (the target-only Neuk-GP and the source-aligned KAT-GP); the two MACE
+//! searches run concurrently on the `kato_par` pool and each scores its
+//! NSGA-II populations through the batched GP posterior. `KATO_THREADS`
+//! sets the worker count without changing the trace.
+//!
 //! ```bash
 //! cargo run --release --example transfer_sizing
 //! ```
+//!
+//! The CLI equivalent (any registered source/target pair):
+//! `kato transfer opamp2 folded_cascode`.
 
 use kato::{BoSettings, Kato, Mode, SourceData};
 use kato_circuits::{SizingProblem, TechNode, TwoStageOpAmp};

@@ -1,0 +1,114 @@
+//! Integration tests for the scenario registry and corner-aware
+//! evaluation: every registered scenario must build on every registered
+//! tech node and corner, evaluate to finite metrics, and run through the
+//! full KATO loop.
+
+use kato::{corner_audit, BoSettings, Kato, Mode, WorstCaseProblem};
+use kato_circuits::{Corner, ScenarioRegistry};
+
+#[test]
+fn registry_lists_at_least_six_scenarios() {
+    let reg = ScenarioRegistry::standard();
+    assert!(reg.names().len() >= 6, "registry shrank: {:?}", reg.names());
+}
+
+#[test]
+fn every_scenario_tech_corner_combination_builds_and_evaluates_finite() {
+    let reg = ScenarioRegistry::standard();
+    for scenario in reg.scenarios() {
+        for tech in scenario.tech_names {
+            for corner in &scenario.corners {
+                let p = scenario.build(tech, corner).unwrap();
+                let m = p.evaluate(&p.expert_design());
+                assert!(
+                    m.values().iter().all(|v| v.is_finite()),
+                    "{} at {}: {m}",
+                    p.name(),
+                    corner.name()
+                );
+                let mid = p.evaluate(&vec![0.5; p.dim()]);
+                assert!(
+                    mid.values().iter().all(|v| v.is_finite()),
+                    "{} midpoint at {}: {mid}",
+                    p.name(),
+                    corner.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_scenario_expert_design_is_feasible_at_nominal() {
+    let reg = ScenarioRegistry::standard();
+    for scenario in reg.scenarios() {
+        let p = scenario.build_default();
+        let m = p.evaluate(&p.expert_design());
+        assert!(
+            m.feasible(p.specs()),
+            "{} expert must meet spec at TT: {m}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn unknown_lookups_fail_with_descriptive_errors() {
+    let reg = ScenarioRegistry::standard();
+    let msg = reg.get("does_not_exist").unwrap_err().to_string();
+    assert!(msg.contains("does_not_exist") && msg.contains("available"));
+    let msg = reg
+        .build("opamp2", Some("7nm"), None)
+        .map(|p| p.name())
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("7nm"), "{msg}");
+    let msg = reg
+        .build("opamp2", None, Some("fs_12c"))
+        .map(|p| p.name())
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("corner"), "{msg}");
+}
+
+#[test]
+fn corner_audit_matches_single_corner_builds() {
+    let reg = ScenarioRegistry::standard();
+    let scenario = reg.get("folded_cascode").unwrap();
+    let p = scenario.build_default();
+    let x = p.expert_design();
+    let audit = corner_audit(scenario, "180nm", &x).unwrap();
+    assert_eq!(audit.len(), scenario.corners.len());
+    for eval in &audit {
+        let direct = scenario.build("180nm", &eval.corner).unwrap().evaluate(&x);
+        assert_eq!(eval.metrics, direct, "audit must equal a direct build");
+    }
+}
+
+#[test]
+fn kato_runs_on_a_registry_built_problem() {
+    // End-to-end: registry → problem → full KATO loop, small budget.
+    let reg = ScenarioRegistry::standard();
+    let p = reg.build("ldo", None, None).unwrap();
+    let h = Kato::new(BoSettings::quick(18, 11)).run(p.as_ref(), Mode::Constrained);
+    assert_eq!(h.len(), 18);
+    assert!(h.evals.iter().all(|e| !e.score.is_nan()));
+}
+
+#[test]
+fn worst_case_problem_runs_through_kato() {
+    let reg = ScenarioRegistry::standard();
+    let scenario = reg.get("opamp2").unwrap();
+    let wc = WorstCaseProblem::new(scenario, "180nm").unwrap();
+    let h = Kato::new(BoSettings::quick(14, 3)).run(&wc, Mode::Constrained);
+    assert_eq!(h.len(), 14);
+    // Worst-case scoring can only be harder than nominal: any design
+    // feasible here must also be feasible on the nominal problem.
+    let nominal = scenario.build("180nm", &Corner::tt()).unwrap();
+    for e in h.evals.iter().filter(|e| e.feasible) {
+        assert!(
+            nominal.evaluate(&e.x).feasible(nominal.specs()),
+            "worst-case feasible must imply nominal feasible"
+        );
+    }
+}

@@ -9,7 +9,7 @@ pub struct VecStrategy<S> {
     max_len: usize, // exclusive
 }
 
-/// Accepted as the size argument of [`vec`]: an exact length or a
+/// Accepted as the size argument of [`vec()`]: an exact length or a
 /// half-open/inclusive range of lengths.
 pub trait SizeRange {
     fn bounds(&self) -> (usize, usize);
