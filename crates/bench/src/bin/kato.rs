@@ -19,6 +19,8 @@ use kato::{corner_audit, BoSettings, Kato, Mode, RunHistory, SourceData, WorstCa
 use kato_bench::json::Json;
 use kato_bench::{final_stats, mean_sims_to_reach, run_seeds};
 use kato_circuits::{Corner, ScenarioRegistry, SizingProblem};
+use kato_serve::daemon::run_with_bank;
+use kato_serve::{Bank, SourceChoice};
 use std::process::ExitCode;
 
 const USAGE: &str = "kato — transistor-sizing scenarios from the KATO reproduction
@@ -26,7 +28,7 @@ const USAGE: &str = "kato — transistor-sizing scenarios from the KATO reproduc
 USAGE:
     kato list
     kato run <scenario> [--tech <node>] [--corner <c>|worst] [--seeds <n>]
-                        [--budget <b>] [--out <path>]
+                        [--budget <b>] [--bank <dir>] [--out <path>]
     kato transfer <src> <dst> [--tech <node>] [--src-tech <node>]
                         [--seeds <n>] [--budget <b>] [--source-n <m>]
                         [--out <path>]
@@ -43,6 +45,8 @@ OPTIONS:
     --seeds <n>      independent repetitions (default 1)
     --budget <b>     simulations per run, incl. 10 random init (default 40)
     --source-n <m>   source archive size for transfer (default 120)
+    --bank <dir>     knowledge bank: warm-start from archived runs of the
+                     same scenario (any tech node) and persist this run
     --out <path>     results JSON path (default results/kato_<...>.json)
 ";
 
@@ -59,6 +63,7 @@ struct Opts {
     seeds: usize,
     budget: usize,
     source_n: usize,
+    bank: Option<String>,
     out: Option<String>,
 }
 
@@ -70,6 +75,7 @@ fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opt
         seeds: 1,
         budget: 40,
         source_n: 120,
+        bank: None,
         out: None,
     };
     let mut it = args.iter();
@@ -106,6 +112,7 @@ fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opt
                     .parse()
                     .map_err(|_| "unparsable --source-n".to_string())?;
             }
+            "--bank" => opts.bank = Some(value()?),
             "--out" => opts.out = Some(value()?),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -200,12 +207,52 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
     );
 
     let seeds = seed_list(opts.seeds);
-    let histories = run_seeds(&seeds, |seed| {
-        Kato::new(quick_settings(opts.budget, seed)).run(problem.as_ref(), Mode::Constrained)
-    });
+    let mut bank = opts
+        .bank
+        .as_deref()
+        .map(Bank::open)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let (histories, warm_choices): (Vec<RunHistory>, Vec<Option<SourceChoice>>) =
+        match bank.as_mut() {
+            // The bank path is sequential on purpose: each completed run is
+            // appended before the next starts, so later seeds can
+            // warm-start from earlier ones in the same invocation.
+            Some(bank) => {
+                let mut histories = Vec::with_capacity(seeds.len());
+                let mut warm = Vec::with_capacity(seeds.len());
+                for &seed in &seeds {
+                    let (h, choice) = run_with_bank(
+                        Some(bank),
+                        name,
+                        tech,
+                        problem.as_ref(),
+                        quick_settings(opts.budget, seed),
+                    );
+                    bank.append(name, tech, &h).map_err(|e| e.to_string())?;
+                    histories.push(h);
+                    warm.push(choice);
+                }
+                (histories, warm)
+            }
+            None => {
+                let histories = run_seeds(&seeds, |seed| {
+                    Kato::new(quick_settings(opts.budget, seed))
+                        .run(problem.as_ref(), Mode::Constrained)
+                });
+                let n = histories.len();
+                (histories, vec![None; n])
+            }
+        };
 
     let mut runs = Vec::new();
-    for h in &histories {
+    for (h, choice) in histories.iter().zip(&warm_choices) {
+        if let Some(c) = choice {
+            println!(
+                "  seed {:>3}: warm start from {} [{}] (alignment {:.3}, {} archived evals)",
+                h.seed, c.label, c.tech, c.alignment, c.n_evals
+            );
+        }
         match h.best() {
             Some(b) => println!(
                 "  seed {:>3}: best score {:.4} after {} sims  {}",
@@ -216,9 +263,20 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
             ),
             None => println!("  seed {:>3}: nothing feasible in {} sims", h.seed, h.len()),
         }
+        let warm_json = match choice {
+            Some(c) => Json::obj(vec![
+                ("source", Json::str(&c.label)),
+                ("tech", Json::str(&c.tech)),
+                ("same_tech", Json::Bool(c.same_tech)),
+                ("alignment", Json::Num(c.alignment)),
+                ("n_evals", Json::Num(c.n_evals as f64)),
+            ]),
+            None => Json::Null,
+        };
         runs.push(Json::obj(vec![
             ("seed", Json::Num(h.seed as f64)),
             ("n_evals", Json::Num(h.len() as f64)),
+            ("warm_start", warm_json),
             ("best", best_json(problem.as_ref(), h)),
         ]));
     }
@@ -232,38 +290,50 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
     }
 
     // Corner audit of the best design found (single-corner runs only; a
-    // worst-case run already evaluated every corner per simulation).
-    let mut audit_json = Vec::new();
-    if !worst {
-        if let Some(best) = histories
+    // worst-case run already evaluated every corner per simulation). An
+    // infeasible run has no design worth auditing: report that cleanly and
+    // keep `corner_audit` null so consumers can tell "not audited" from
+    // "audited zero corners".
+    let audit_json = if worst {
+        Json::Null
+    } else if n_feasible == 0 {
+        println!(
+            "  no feasible design found in {} sims — corner audit skipped",
+            opts.budget
+        );
+        Json::Null
+    } else {
+        let best = histories
             .iter()
             .filter_map(RunHistory::best)
+            .filter(|b| b.feasible)
             .max_by(|a, b| {
                 a.score
                     .partial_cmp(&b.score)
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-        {
-            let audit = corner_audit(scenario, tech, &best.x).map_err(|e| e.to_string())?;
-            println!("  corner audit of the best design:");
-            for eval in &audit {
-                println!(
-                    "    {:<8} feasible={:<5} {}",
-                    eval.corner.name(),
-                    eval.feasible,
-                    eval.metrics
-                );
-                audit_json.push(Json::obj(vec![
-                    ("corner", Json::str(eval.corner.name())),
-                    ("feasible", Json::Bool(eval.feasible)),
-                    (
-                        "metrics",
-                        metrics_obj(problem.as_ref(), eval.metrics.values()),
-                    ),
-                ]));
-            }
+            .expect("n_feasible > 0");
+        let audit = corner_audit(scenario, tech, &best.x).map_err(|e| e.to_string())?;
+        println!("  corner audit of the best design:");
+        let mut rows = Vec::new();
+        for eval in &audit {
+            println!(
+                "    {:<8} feasible={:<5} {}",
+                eval.corner.name(),
+                eval.feasible,
+                eval.metrics
+            );
+            rows.push(Json::obj(vec![
+                ("corner", Json::str(eval.corner.name())),
+                ("feasible", Json::Bool(eval.feasible)),
+                (
+                    "metrics",
+                    metrics_obj(problem.as_ref(), eval.metrics.values()),
+                ),
+            ]));
         }
-    }
+        Json::Arr(rows)
+    };
 
     let doc = Json::obj(vec![
         ("command", Json::str("run")),
@@ -275,8 +345,10 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
             "seeds",
             Json::nums(&seeds.iter().map(|&s| s as f64).collect::<Vec<_>>()),
         ),
+        ("bank", opts.bank.as_deref().map_or(Json::Null, Json::str)),
+        ("feasible", Json::Bool(n_feasible > 0)),
         ("runs", Json::Arr(runs)),
-        ("corner_audit", Json::Arr(audit_json)),
+        ("corner_audit", audit_json),
     ]);
     let default_path = format!("results/kato_run_{name}_{tech}_{corner_arg}.json");
     write_json(opts.out.as_deref().unwrap_or(&default_path), &doc)
@@ -387,7 +459,9 @@ fn main() -> ExitCode {
         Some("run") => match args.get(1) {
             Some(name) if !name.starts_with("--") => parse_opts(
                 "run",
-                &["--tech", "--corner", "--seeds", "--budget", "--out"],
+                &[
+                    "--tech", "--corner", "--seeds", "--budget", "--bank", "--out",
+                ],
                 &args[2..],
             )
             .and_then(|opts| cmd_run(&registry, name, &opts)),

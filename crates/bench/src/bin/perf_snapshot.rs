@@ -1,0 +1,202 @@
+//! `perf_snapshot` — writes a committable `BENCH_*.json` perf snapshot.
+//!
+//! Re-runs the `proposal_parallel` criterion measurements programmatically
+//! (serial point-wise MACE proposal vs the batched+parallel path) and adds
+//! one end-to-end timing (a full seeded KATO run on `opamp2@180nm`), then
+//! writes the medians as JSON so the perf trajectory lives in the repo
+//! instead of in scroll-back:
+//!
+//! ```bash
+//! cargo run --release --bin perf_snapshot -- --label 2026-08-08 \
+//!     [--out BENCH_2026-08-08.json] [--samples 10]
+//! ```
+//!
+//! Timings are wall-clock medians over `--samples` runs on whatever
+//! machine executes them — snapshots are comparable *within* a machine
+//! generation, which is what catching a 2x regression needs.
+
+use kato::mace::{MaceProposer, MaceVariant};
+use kato::{metric_columns, BoSettings, Kato, MetricModels, Mode, ModelConfig, RunHistory};
+use kato_bench::json::Json;
+use kato_circuits::{random_design, SizingProblem, TechNode, TwoStageOpAmp};
+use kato_gp::{GpConfig, KatConfig};
+use kato_nsga::{Nsga2, Nsga2Config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "perf_snapshot — write a BENCH_*.json perf snapshot
+
+USAGE:
+    perf_snapshot [--label <tag>] [--out <path>] [--samples <n>]
+
+OPTIONS:
+    --label <tag>    snapshot tag baked into the file (default 'local')
+    --out <path>     output path (default BENCH_<label>.json)
+    --samples <n>    timed repetitions per measurement (default 10)
+";
+
+/// Median of a sample vector, in place.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times `f` over `n` samples and returns the median seconds per call.
+fn time_median(n: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    median(&mut samples)
+}
+
+/// The same fitted surrogate stack the `proposal_parallel` bench uses: 40
+/// seeded random evaluations of opamp2@180nm, fast-config GPs.
+fn fitted_stack() -> (TwoStageOpAmp, MetricModels, f64) {
+    let problem = TwoStageOpAmp::new(TechNode::n180());
+    let mut history = RunHistory::new("bench", "bench", 0);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..40 {
+        let x = random_design(problem.dim(), &mut rng);
+        history.evaluate_and_push(&problem, &Mode::Constrained, x);
+    }
+    let xs: Vec<Vec<f64>> = history.evals.iter().map(|e| e.x.clone()).collect();
+    let refs: Vec<&kato_circuits::Metrics> = history.evals.iter().map(|e| &e.metrics).collect();
+    let cols = metric_columns(&refs);
+    let cfg = ModelConfig {
+        gp: GpConfig {
+            train_iters: 10,
+            ..GpConfig::fast()
+        },
+        kat: KatConfig::fast(),
+        ..ModelConfig::default()
+    };
+    let models = MetricModels::fit_gp(problem.dim(), &xs, &cols, problem.specs(), &cfg).unwrap();
+    let incumbent = history
+        .evals
+        .iter()
+        .map(|e| {
+            e.metrics.objective(problem.specs()).unwrap_or(0.0)
+                - 10.0 * e.metrics.violation(problem.specs())
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    (problem, models, incumbent)
+}
+
+fn run(label: &str, out: Option<&str>, samples: usize) -> Result<(), String> {
+    let threads = std::env::var("KATO_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
+
+    let (problem, models, incumbent) = fitted_stack();
+    let settings = BoSettings::quick(50, 1);
+    let proposer = MaceProposer::new(MaceVariant::Modified);
+    let nsga_cfg = || Nsga2Config {
+        dim: problem.dim(),
+        pop_size: settings.nsga_pop,
+        generations: settings.nsga_gens,
+        seed: settings.seed,
+        ..Nsga2Config::default()
+    };
+
+    eprintln!("[timing mace_proposal_serial_pointwise x{samples}]");
+    let serial_s = time_median(samples, || {
+        black_box(
+            Nsga2::new(nsga_cfg())
+                .run(|x| proposer.objectives(&models, x, incumbent, settings.ucb_beta)),
+        );
+    });
+    eprintln!("[timing mace_proposal_batched_parallel x{samples}]");
+    let batched_s = time_median(samples, || {
+        black_box(proposer.pareto_front(&models, problem.dim(), incumbent, &settings, 0, &[]));
+    });
+
+    // End to end: one full seeded KATO run, quick profile. Reported per
+    // simulation so budget changes don't silently rescale the trajectory.
+    let budget = 40usize;
+    eprintln!("[timing end_to_end kato run opamp2@180nm budget {budget} x3]");
+    let e2e_s = time_median(3.min(samples), || {
+        black_box(Kato::new(BoSettings::quick(budget, 11)).run(&problem, Mode::Constrained));
+    });
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Num(1.0)),
+        ("label", Json::str(label)),
+        ("threads", Json::Num(threads as f64)),
+        ("samples", Json::Num(samples as f64)),
+        (
+            "proposal",
+            Json::obj(vec![
+                ("serial_pointwise_ms", Json::Num(serial_s * 1e3)),
+                ("batched_parallel_ms", Json::Num(batched_s * 1e3)),
+                ("speedup", Json::Num(serial_s / batched_s)),
+            ]),
+        ),
+        (
+            "end_to_end",
+            Json::obj(vec![
+                ("scenario", Json::str("opamp2_180nm")),
+                ("budget", Json::Num(budget as f64)),
+                ("total_s", Json::Num(e2e_s)),
+                ("ms_per_sim", Json::Num(e2e_s * 1e3 / budget as f64)),
+            ]),
+        ),
+    ]);
+    let default_path = format!("BENCH_{label}.json");
+    let path = out.unwrap_or(&default_path);
+    std::fs::write(path, format!("{doc}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("{doc}");
+    eprintln!("[written {path}]");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = "local".to_string();
+    let mut out: Option<String> = None;
+    let mut samples = 10usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        let result = match flag.as_str() {
+            "--label" => value().map(|v| label = v),
+            "--out" => value().map(|v| out = Some(v)),
+            "--samples" => value().and_then(|v| {
+                v.parse()
+                    .map(|n| samples = n)
+                    .map_err(|_| "unparsable --samples".to_string())
+            }),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown option '{other}'")),
+        };
+        if let Err(msg) = result {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+    if samples == 0 {
+        eprintln!("error: --samples must be at least 1");
+        return ExitCode::from(2);
+    }
+    match run(&label, out.as_deref(), samples) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

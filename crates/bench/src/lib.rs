@@ -9,7 +9,7 @@
 //! Binaries default to a **quick profile** (2 seeds, reduced budgets) and
 //! accept `--full` for paper-scale runs.
 
-pub mod json;
+pub use kato_serve::json;
 
 use kato::RunHistory;
 use std::fs;

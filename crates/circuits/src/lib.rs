@@ -57,7 +57,9 @@ pub use fom::{FomNormalization, FomSpec};
 pub use ldo::Ldo;
 pub use opamp2::TwoStageOpAmp;
 pub use opamp3::ThreeStageOpAmp;
-pub use problem::{random_design, Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
+pub use problem::{
+    random_design, Goal, Metrics, OverriddenProblem, SizingProblem, Spec, SpecKind, VarSpec,
+};
 pub use registry::{Scenario, ScenarioError, ScenarioRegistry};
 pub use tech::TechNode;
 pub use telescopic::TelescopicOpAmp;

@@ -231,6 +231,89 @@ pub trait SizingProblem: Send + Sync {
     }
 }
 
+/// A [`SizingProblem`] whose constraint bounds have been overridden by
+/// name — the mechanism behind per-request spec overrides in sizing
+/// requests (`katod`) and anywhere else a caller needs the stock circuit
+/// under a tightened or relaxed spec table.
+///
+/// Only the *bound* of an existing `≥`/`≤` constraint can be overridden;
+/// the constraint's direction and the objective row are fixed by the
+/// circuit. The wrapped problem keeps its physics and variables untouched.
+pub struct OverriddenProblem {
+    inner: Box<dyn SizingProblem>,
+    specs: Vec<Spec>,
+    name: String,
+}
+
+impl fmt::Debug for OverriddenProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OverriddenProblem")
+            .field("name", &self.name)
+            .field("specs", &self.specs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OverriddenProblem {
+    /// Wraps `inner` with the constraint bounds in `overrides` replaced,
+    /// where each entry is `(metric name, new bound)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending metric when it does not
+    /// exist or carries no constraint (objectives cannot be overridden).
+    pub fn new(inner: Box<dyn SizingProblem>, overrides: &[(String, f64)]) -> Result<Self, String> {
+        let mut specs = inner.specs().to_vec();
+        for (metric, bound) in overrides {
+            if !bound.is_finite() {
+                return Err(format!("override for '{metric}' must be finite"));
+            }
+            let idx = inner.metric_index(metric).ok_or_else(|| {
+                format!(
+                    "unknown metric '{metric}' (available: {})",
+                    inner.metric_names().join(", ")
+                )
+            })?;
+            let row = specs
+                .iter_mut()
+                .find(|s| s.metric == idx && !matches!(s.kind, SpecKind::Objective(_)))
+                .ok_or_else(|| format!("metric '{metric}' has no constraint to override"))?;
+            row.kind = match row.kind {
+                SpecKind::GreaterEq(_) => SpecKind::GreaterEq(*bound),
+                SpecKind::LessEq(_) => SpecKind::LessEq(*bound),
+                SpecKind::Objective(_) => unreachable!("objective rows are filtered above"),
+            };
+        }
+        let name = if overrides.is_empty() {
+            inner.name()
+        } else {
+            format!("{}_custom", inner.name())
+        };
+        Ok(OverriddenProblem { inner, specs, name })
+    }
+}
+
+impl SizingProblem for OverriddenProblem {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn variables(&self) -> &[VarSpec] {
+        self.inner.variables()
+    }
+    fn metric_names(&self) -> &[&'static str] {
+        self.inner.metric_names()
+    }
+    fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+    fn evaluate(&self, x: &[f64]) -> Metrics {
+        self.inner.evaluate(x)
+    }
+    fn expert_design(&self) -> Vec<f64> {
+        self.inner.expert_design()
+    }
+}
+
 /// Draws a uniform random design vector in the unit cube.
 pub fn random_design<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vec<f64> {
     (0..dim).map(|_| rng.gen::<f64>()).collect()
@@ -310,6 +393,72 @@ mod tests {
         let bad = Metrics::new(vec![100.0, 50.0, 8.0]);
         assert!(!bad.feasible(&specs));
         assert!((bad.violation(&specs) - 12.0).abs() < 1e-12);
+    }
+
+    struct FixedToy;
+    impl SizingProblem for FixedToy {
+        fn name(&self) -> String {
+            "fixed_toy".into()
+        }
+        fn variables(&self) -> &[VarSpec] {
+            const V: [VarSpec; 1] = [VarSpec {
+                name: "a",
+                lo: 0.0,
+                hi: 1.0,
+                log: false,
+            }];
+            &V
+        }
+        fn metric_names(&self) -> &[&'static str] {
+            &["i_total", "gain_db"]
+        }
+        fn specs(&self) -> &[Spec] {
+            const S: [Spec; 2] = [
+                Spec {
+                    metric: 0,
+                    kind: SpecKind::Objective(Goal::Minimize),
+                },
+                Spec {
+                    metric: 1,
+                    kind: SpecKind::GreaterEq(60.0),
+                },
+            ];
+            &S
+        }
+        fn evaluate(&self, x: &[f64]) -> Metrics {
+            Metrics::new(vec![x[0], 100.0 * x[0]])
+        }
+        fn expert_design(&self) -> Vec<f64> {
+            vec![0.8]
+        }
+    }
+
+    #[test]
+    fn overridden_problem_replaces_bounds_only() {
+        let over =
+            OverriddenProblem::new(Box::new(FixedToy), &[("gain_db".to_string(), 80.0)]).unwrap();
+        assert_eq!(over.name(), "fixed_toy_custom");
+        assert_eq!(over.dim(), 1);
+        // 0.7 meets the stock 60 dB bound but not the overridden 80 dB one.
+        let m = over.evaluate(&[0.7]);
+        assert!(m.feasible(FixedToy.specs()));
+        assert!(!m.feasible(over.specs()));
+        assert!(over.evaluate(&[0.9]).feasible(over.specs()));
+        // Empty override list keeps the stock name and table.
+        let plain = OverriddenProblem::new(Box::new(FixedToy), &[]).unwrap();
+        assert_eq!(plain.name(), "fixed_toy");
+        assert_eq!(plain.specs(), FixedToy.specs());
+    }
+
+    #[test]
+    fn overridden_problem_rejects_bad_metrics() {
+        let unknown = OverriddenProblem::new(Box::new(FixedToy), &[("psrr_db".to_string(), 50.0)]);
+        assert!(unknown.unwrap_err().contains("unknown metric"));
+        let objective = OverriddenProblem::new(Box::new(FixedToy), &[("i_total".to_string(), 1.0)]);
+        assert!(objective.unwrap_err().contains("no constraint"));
+        let non_finite =
+            OverriddenProblem::new(Box::new(FixedToy), &[("gain_db".to_string(), f64::NAN)]);
+        assert!(non_finite.unwrap_err().contains("finite"));
     }
 
     #[test]

@@ -42,6 +42,28 @@ impl SourceData {
         }
     }
 
+    /// Builds a source archive from a **completed run's trace** — the entry
+    /// point the persistent knowledge bank uses to turn yesterday's
+    /// optimisation into today's warm start.
+    ///
+    /// Non-finite output entries (NaN-imputed/infeasible rows a real run
+    /// legitimately contains) are imputed pessimistically per `specs`
+    /// column exactly like live training data (see `training_view`), so a
+    /// persisted archive round-trips into the same surrogate inputs the
+    /// original run would have produced.
+    #[must_use]
+    pub fn from_history(history: &RunHistory, specs: &[Spec]) -> Self {
+        let refs: Vec<&Metrics> = history.evals.iter().map(|e| &e.metrics).collect();
+        let mut columns = metric_columns(&refs);
+        crate::kato_opt::sanitize_columns(&mut columns, specs);
+        SourceData {
+            dim: history.evals.first().map_or(0, |e| e.x.len()),
+            xs: history.evals.iter().map(|e| e.x.clone()).collect(),
+            columns,
+            label: history.problem.clone(),
+        }
+    }
+
     /// Like [`SourceData::from_problem_random`] but records the source FOM
     /// (single column) for FOM-mode transfer.
     #[must_use]
@@ -125,16 +147,55 @@ impl Kato {
     #[must_use]
     pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
         let s = &self.settings;
-        let dim = problem.dim();
         let mut history = RunHistory::new(&problem.name(), &self.label, s.seed);
         let mut rng = StdRng::seed_from_u64(s.seed);
-
         for _ in 0..s.n_init.min(s.budget) {
-            history.evaluate_and_push(problem, &mode, random_design(dim, &mut rng));
+            history.evaluate_and_push(problem, &mode, random_design(problem.dim(), &mut rng));
         }
+        self.resume_with_rng(problem, mode, history, rng)
+    }
+
+    /// Continues the optimisation from an **existing history** — the
+    /// warm-start entry point.
+    ///
+    /// The evaluations already in `history` stand in for the cold random
+    /// init: the BO loop fits its surrogates on them immediately and spends
+    /// the remaining `budget − history.len()` simulations on model-guided
+    /// proposals. Callers that hold an external archive (the serving
+    /// bank's flow) typically record a handful of probe simulations into
+    /// `history`, attach the best-aligned archive via
+    /// [`Kato::with_source`], and resume — paying a fraction of `n_init`.
+    ///
+    /// `history` is returned unchanged when it already meets the budget.
+    #[must_use]
+    pub fn resume(
+        &self,
+        problem: &dyn SizingProblem,
+        mode: Mode,
+        history: RunHistory,
+    ) -> RunHistory {
+        // A fresh stream offset from the master seed: `run` consumed an
+        // init-dependent amount of the seed stream before reaching the
+        // loop, so the resume path derives its own.
+        let rng = StdRng::seed_from_u64(self.settings.seed ^ 0x9E37_79B9_7F4A_7C15);
+        self.resume_with_rng(problem, mode, history, rng)
+    }
+
+    fn resume_with_rng(
+        &self,
+        problem: &dyn SizingProblem,
+        mode: Mode,
+        mut history: RunHistory,
+        mut rng: StdRng,
+    ) -> RunHistory {
+        let s = &self.settings;
+        let dim = problem.dim();
         if history.len() >= s.budget {
             return history;
         }
+        // The continued run is this optimiser's: its label replaces whatever
+        // the probe/seed history carried (e.g. "KATO" → "KATO+bank[...]").
+        history.method = self.label.clone();
 
         let model_cfg = ModelConfig {
             gp: s.gp.clone(),
@@ -441,6 +502,52 @@ mod tests {
         assert_eq!(h.len(), 30);
         assert!(h.method.contains("KATO+TL"));
         assert!(h.best().is_some());
+    }
+
+    #[test]
+    fn resume_continues_an_existing_history() {
+        let toy = Toy::new();
+        let mut settings = BoSettings::quick(24, 6);
+        settings.n_init = 6;
+        // Pre-seed a probe history of 6 evaluations by hand.
+        let mut probe = RunHistory::new(&toy.name(), "KATO", 6);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..6 {
+            probe.evaluate_and_push(&toy, &Mode::Constrained, random_design(2, &mut rng));
+        }
+        let h = Kato::new(settings.clone()).resume(&toy, Mode::Constrained, probe.clone());
+        assert_eq!(h.len(), 24);
+        // The probe prefix is preserved verbatim.
+        for (a, b) in h.evals.iter().zip(&probe.evals) {
+            assert_eq!(a.x, b.x);
+        }
+        // A history already at budget comes back unchanged.
+        let full =
+            Kato::new(BoSettings::quick(6, 6)).resume(&toy, Mode::Constrained, probe.clone());
+        assert_eq!(full.len(), 6);
+        // Resume with a source archive attached (the bank's warm path).
+        let source = SourceData::from_problem_random(&toy, 30, 1);
+        let hw = Kato::new(settings)
+            .with_source(source)
+            .resume(&toy, Mode::Constrained, probe);
+        assert_eq!(hw.len(), 24);
+        assert!(hw.best().is_some());
+    }
+
+    #[test]
+    fn from_history_sanitizes_non_finite_columns() {
+        let problem = NanZone { inner: Toy::new() };
+        let mut h = RunHistory::new("nan_zone", "t", 0);
+        h.evaluate_and_push(&problem, &Mode::Constrained, vec![0.1, 0.5]); // NaN zone
+        h.evaluate_and_push(&problem, &Mode::Constrained, vec![0.6, 0.4]);
+        h.evaluate_and_push(&problem, &Mode::Constrained, vec![0.8, 0.2]);
+        let src = SourceData::from_history(&h, problem.specs());
+        assert_eq!(src.dim, 2);
+        assert_eq!(src.xs.len(), 3);
+        assert_eq!(src.label, "nan_zone");
+        for col in &src.columns {
+            assert!(col.iter().all(|v| v.is_finite()), "{:?}", src.columns);
+        }
     }
 
     #[test]

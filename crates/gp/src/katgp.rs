@@ -444,6 +444,55 @@ impl KatGp {
         Ok(best_ll)
     }
 
+    /// Archive-alignment score: mean Gaussian predictive log-likelihood of
+    /// `(xs, ys)` under this fitted alignment, observation noise included.
+    ///
+    /// This is the quantity the knowledge bank uses to rank candidate
+    /// source archives for a new sizing request — fit a cheap [`KatGp`]
+    /// from each candidate onto the same probe dataset and keep the
+    /// best-scoring one. Higher is better; non-finite targets are skipped
+    /// (a probe row from a broken simulation carries no alignment signal).
+    /// Returns `f64::NEG_INFINITY` when no finite pair remains.
+    ///
+    /// The per-point variance is floored at 1% of the training-data
+    /// variance: an alignment trained on a handful of probe points is
+    /// routinely *overconfident* (Delta-method variance through a
+    /// confident source GP plus a noise term fitted on few residuals), and
+    /// without the floor an accurate-but-overconfident alignment scores
+    /// below a vague-but-calibrated one — the opposite of what archive
+    /// ranking needs. The floor keeps the score accuracy-dominated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the target dimensionality.
+    #[must_use]
+    pub fn mean_log_likelihood(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        let scale = self.y_scaler.scale(0);
+        let noise_raw = (self.log_noise * 2.0).exp() * scale * scale;
+        let var_floor = 0.01 * scale * scale;
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (x, &y) in xs.iter().zip(ys) {
+            if !y.is_finite() {
+                continue;
+            }
+            let (mu, var) = self.predict(x);
+            let var_total = (var + noise_raw).max(var_floor).max(1e-12);
+            let resid = y - mu;
+            let ll = -0.5 * (var_total * 2.0 * std::f64::consts::PI).ln()
+                - resid * resid / (2.0 * var_total);
+            if ll.is_finite() {
+                total += ll;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::NEG_INFINITY
+        } else {
+            total / n as f64
+        }
+    }
+
     /// Posterior mean and variance at a raw target design vector.
     ///
     /// # Panics
@@ -676,6 +725,34 @@ mod tests {
                 proptest::prop_assert!((v - bv).abs() <= 1e-10 * (1.0 + v.abs()));
             }
         }
+    }
+
+    #[test]
+    fn alignment_score_prefers_the_aligned_source() {
+        // Probe data drawn from the target function: a KAT-GP aligned to it
+        // must out-score one aligned to unrelated data, and non-finite
+        // probe rows must be skipped rather than poisoning the mean.
+        let source = make_source();
+        let x_t: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 / 15.0]).collect();
+        let y_good: Vec<f64> = x_t.iter().map(|x| target_fn(x[0])).collect();
+        let y_bad: Vec<f64> = x_t.iter().map(|x| (40.0 * x[0]).tan()).collect();
+        let good = KatGp::fit(&source, &x_t, &y_good, &KatConfig::fast()).unwrap();
+        let bad = KatGp::fit(&source, &x_t, &y_bad, &KatConfig::fast()).unwrap();
+        let probe_x: Vec<Vec<f64>> = (0..8).map(|i| vec![0.05 + i as f64 / 9.0]).collect();
+        let probe_y: Vec<f64> = probe_x.iter().map(|x| target_fn(x[0])).collect();
+        let s_good = good.mean_log_likelihood(&probe_x, &probe_y);
+        let s_bad = bad.mean_log_likelihood(&probe_x, &probe_y);
+        assert!(s_good.is_finite() && s_bad.is_finite());
+        assert!(s_good > s_bad, "good {s_good} vs bad {s_bad}");
+        // NaN probe rows are skipped, not propagated.
+        let mut probe_y_nan = probe_y.clone();
+        probe_y_nan[0] = f64::NAN;
+        assert!(good.mean_log_likelihood(&probe_x, &probe_y_nan).is_finite());
+        // Nothing finite → −∞ sentinel.
+        assert_eq!(
+            good.mean_log_likelihood(&probe_x, &vec![f64::NAN; probe_x.len()]),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

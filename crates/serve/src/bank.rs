@@ -1,0 +1,644 @@
+//! The persistent knowledge bank: a directory of run archives that turns
+//! every completed sizing run into warm-start material for future requests.
+//!
+//! # Layout
+//!
+//! ```text
+//! <bank>/
+//!   index.json                  {"version":1,"entries":[{scenario,tech,file,runs}]}
+//!   opamp2__180nm.json          {"version":1,"scenario","tech","runs":[<RunHistory>...]}
+//!   opamp2__40nm.json
+//!   ...
+//! ```
+//!
+//! One archive file per `scenario×tech`; the manifest indexes them so a
+//! daemon can answer "what could warm-start this request?" without reading
+//! every archive. Writes are atomic (temp file + rename) so a crashed
+//! append never corrupts an archive, and every file carries
+//! [`BANK_VERSION`] so a future schema change can migrate old banks
+//! explicitly instead of misreading them.
+//!
+//! # Source selection
+//!
+//! [`Bank::select_source`] ranks every archived run of the requested
+//! scenario — any tech node, which is the whole point: an `opamp2@180nm`
+//! run warm-starts an `opamp2@40nm` request — by *alignment*: a cheap GP is
+//! fitted to the candidate's objective column, a [`KatGp`] is aligned from
+//! it onto the request's probe evaluations, and the candidate with the
+//! highest mean predictive log-likelihood on the probe wins (the same
+//! knowledge-alignment machinery the optimiser itself uses, paper §3.2).
+
+use crate::archive::{history_from_json, history_to_json};
+use crate::json::Json;
+use kato::{RunHistory, SourceData};
+use kato_circuits::{Goal, Spec, SpecKind};
+use kato_gp::{Gp, GpConfig, KatConfig, KatGp, KernelSpec};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every bank file.
+pub const BANK_VERSION: u64 = 1;
+
+/// Minimum finite probe objective values needed to alignment-score
+/// candidates (the probe is split into a fit half and a held-out scoring
+/// half); below this the bank falls back to the largest archive.
+pub const MIN_PROBE_POINTS: usize = 4;
+
+/// Errors from opening, reading or appending to a bank.
+#[derive(Debug)]
+pub enum BankError {
+    /// Filesystem failure (path and cause in the message).
+    Io(String),
+    /// A bank file exists but does not parse as the expected schema.
+    Corrupt(String),
+}
+
+impl fmt::Display for BankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BankError::Io(msg) => write!(f, "bank I/O error: {msg}"),
+            BankError::Corrupt(msg) => write!(f, "corrupt bank file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BankError {}
+
+/// One row of the bank manifest: an archive file and what it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankEntry {
+    /// Scenario name, e.g. `opamp2`.
+    pub scenario: String,
+    /// Tech-node name, e.g. `180nm`.
+    pub tech: String,
+    /// Archive file name relative to the bank directory.
+    pub file: String,
+    /// Number of runs archived in the file.
+    pub runs: usize,
+}
+
+/// Which archived run a warm start was built from, and how well it aligned.
+#[derive(Debug, Clone)]
+pub struct SourceChoice {
+    /// The archived run's problem label, e.g. `opamp2_180nm`.
+    pub label: String,
+    /// Tech node of the source archive.
+    pub tech: String,
+    /// `true` when the source is the same tech node as the request.
+    pub same_tech: bool,
+    /// Mean predictive log-likelihood of the aligned KAT-GP on the probe
+    /// (NaN when selection fell back without scoring).
+    pub alignment: f64,
+    /// Number of evaluations in the source archive.
+    pub n_evals: usize,
+}
+
+/// A knowledge bank rooted at a directory.
+#[derive(Debug)]
+pub struct Bank {
+    dir: PathBuf,
+    entries: Vec<BankEntry>,
+}
+
+fn io_err(path: &Path, what: &str, e: &std::io::Error) -> BankError {
+    BankError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+/// Writes `content` to `path` atomically: temp file in the same directory,
+/// flush, then rename over the destination.
+fn atomic_write(path: &Path, content: &str) -> Result<(), BankError> {
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", &e))?;
+        f.write_all(content.as_bytes())
+            .map_err(|e| io_err(&tmp, "write", &e))?;
+        f.flush().map_err(|e| io_err(&tmp, "flush", &e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, "rename into", &e))
+}
+
+fn archive_file_name(scenario: &str, tech: &str) -> String {
+    format!("{scenario}__{tech}.json")
+}
+
+impl Bank {
+    /// Opens (creating if needed) a bank at `dir` and loads its manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`BankError::Io`] when the directory or index cannot be
+    /// created/read; [`BankError::Corrupt`] when an index exists but has
+    /// the wrong schema or a newer [`BANK_VERSION`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, BankError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create bank dir", &e))?;
+        let index = dir.join("index.json");
+        let entries = if index.exists() {
+            let text = fs::read_to_string(&index).map_err(|e| io_err(&index, "read", &e))?;
+            let doc = Json::parse(&text)
+                .map_err(|e| BankError::Corrupt(format!("{}: {e}", index.display())))?;
+            let version = doc.get("version").and_then(Json::as_u64).ok_or_else(|| {
+                BankError::Corrupt(format!("{}: missing 'version'", index.display()))
+            })?;
+            if version > BANK_VERSION {
+                return Err(BankError::Corrupt(format!(
+                    "{}: bank version {version} is newer than supported {BANK_VERSION}",
+                    index.display()
+                )));
+            }
+            let rows = doc.get("entries").and_then(Json::as_arr).ok_or_else(|| {
+                BankError::Corrupt(format!("{}: missing 'entries'", index.display()))
+            })?;
+            let mut entries = Vec::with_capacity(rows.len());
+            for row in rows {
+                let field = |key: &str| {
+                    row.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| {
+                            BankError::Corrupt(format!(
+                                "{}: entry missing '{key}'",
+                                index.display()
+                            ))
+                        })
+                };
+                entries.push(BankEntry {
+                    scenario: field("scenario")?,
+                    tech: field("tech")?,
+                    file: field("file")?,
+                    runs: row.get("runs").and_then(Json::as_u64).unwrap_or(0) as usize,
+                });
+            }
+            entries
+        } else {
+            Vec::new()
+        };
+        Ok(Bank { dir, entries })
+    }
+
+    /// The bank's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The manifest rows, in archive order.
+    #[must_use]
+    pub fn entries(&self) -> &[BankEntry] {
+        &self.entries
+    }
+
+    /// Manifest rows for one scenario (any tech node).
+    #[must_use]
+    pub fn candidates(&self, scenario: &str) -> Vec<&BankEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.scenario == scenario)
+            .collect()
+    }
+
+    /// `true` when the bank holds at least one run for the scenario.
+    #[must_use]
+    pub fn has_candidates(&self, scenario: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.scenario == scenario && e.runs > 0)
+    }
+
+    fn write_index(&self) -> Result<(), BankError> {
+        let rows: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("scenario", Json::str(&e.scenario)),
+                    ("tech", Json::str(&e.tech)),
+                    ("file", Json::str(&e.file)),
+                    ("runs", Json::Num(e.runs as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("version", Json::Num(BANK_VERSION as f64)),
+            ("entries", Json::Arr(rows)),
+        ]);
+        atomic_write(&self.dir.join("index.json"), &doc.to_string())
+    }
+
+    /// Appends a completed run to the `scenario×tech` archive, creating the
+    /// file on first use, and updates the manifest. Both writes are atomic.
+    ///
+    /// # Errors
+    ///
+    /// [`BankError`] when the existing archive cannot be read back or
+    /// either file cannot be written.
+    pub fn append(
+        &mut self,
+        scenario: &str,
+        tech: &str,
+        history: &RunHistory,
+    ) -> Result<(), BankError> {
+        let file = archive_file_name(scenario, tech);
+        let path = self.dir.join(&file);
+        let mut runs = if path.exists() {
+            self.read_archive(&path)?
+        } else {
+            Vec::new()
+        };
+        runs.push(history_to_json(history));
+        let n_runs = runs.len();
+        let doc = Json::obj(vec![
+            ("version", Json::Num(BANK_VERSION as f64)),
+            ("scenario", Json::str(scenario)),
+            ("tech", Json::str(tech)),
+            ("runs", Json::Arr(runs)),
+        ]);
+        atomic_write(&path, &doc.to_string())?;
+
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.scenario == scenario && e.tech == tech)
+        {
+            Some(entry) => entry.runs = n_runs,
+            None => self.entries.push(BankEntry {
+                scenario: scenario.to_string(),
+                tech: tech.to_string(),
+                file,
+                runs: n_runs,
+            }),
+        }
+        self.write_index()
+    }
+
+    fn read_archive(&self, path: &Path) -> Result<Vec<Json>, BankError> {
+        let text = fs::read_to_string(path).map_err(|e| io_err(path, "read", &e))?;
+        let doc = Json::parse(&text)
+            .map_err(|e| BankError::Corrupt(format!("{}: {e}", path.display())))?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| BankError::Corrupt(format!("{}: missing 'version'", path.display())))?;
+        if version > BANK_VERSION {
+            return Err(BankError::Corrupt(format!(
+                "{}: archive version {version} is newer than supported {BANK_VERSION}",
+                path.display()
+            )));
+        }
+        Ok(doc
+            .get("runs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| BankError::Corrupt(format!("{}: missing 'runs'", path.display())))?
+            .to_vec())
+    }
+
+    /// Loads every archived run for a `scenario×tech`.
+    ///
+    /// # Errors
+    ///
+    /// [`BankError`] when the archive exists but cannot be read or parsed.
+    pub fn runs(&self, scenario: &str, tech: &str) -> Result<Vec<RunHistory>, BankError> {
+        let path = self.dir.join(archive_file_name(scenario, tech));
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        self.read_archive(&path)?
+            .iter()
+            .map(|doc| {
+                history_from_json(doc)
+                    .map_err(|e| BankError::Corrupt(format!("{}: {e}", path.display())))
+            })
+            .collect()
+    }
+
+    /// Selects the best-aligned archived run of `scenario` (any tech node)
+    /// as a transfer source for a request on `target_tech`, given a probe
+    /// history of real evaluations on the target problem.
+    ///
+    /// Candidates are scored by fitting a cheap GP to the candidate's
+    /// objective column, aligning a KAT-GP from it onto the probe, and
+    /// taking the KAT-GP's mean predictive log-likelihood on the probe.
+    /// When the probe has fewer than [`MIN_PROBE_POINTS`] finite objective
+    /// values (or every fit fails), selection falls back to the largest
+    /// archive, same tech node first — warm data beats no data even
+    /// unscored.
+    ///
+    /// Returns `None` when the bank holds no runs for the scenario.
+    #[must_use]
+    pub fn select_source(
+        &self,
+        scenario: &str,
+        target_tech: &str,
+        specs: &[Spec],
+        probe: &RunHistory,
+    ) -> Option<(SourceData, SourceChoice)> {
+        // Collect (tech, run) candidates, same-tech archives first so ties
+        // and fallbacks prefer them.
+        let mut tech_order: Vec<&str> = Vec::new();
+        for e in self.candidates(scenario) {
+            if !tech_order.contains(&e.tech.as_str()) {
+                tech_order.push(&e.tech);
+            }
+        }
+        tech_order.sort_by_key(|t| usize::from(*t != target_tech));
+        let mut runs: Vec<(String, RunHistory)> = Vec::new();
+        for tech in tech_order {
+            for run in self.runs(scenario, tech).ok()?.into_iter() {
+                if !run.is_empty() {
+                    runs.push((tech.to_string(), run));
+                }
+            }
+        }
+        if runs.is_empty() {
+            return None;
+        }
+
+        let obj = objective_index(specs);
+        let probe_pts = probe_objective(probe, obj);
+        let mut best: Option<(f64, usize)> = None;
+        if probe_pts.len() >= MIN_PROBE_POINTS {
+            let (probe_xs, probe_ys): (Vec<Vec<f64>>, Vec<f64>) = probe_pts.into_iter().unzip();
+            for (i, (_, run)) in runs.iter().enumerate() {
+                let Some(score) = alignment_score(run, specs, obj, &probe_xs, &probe_ys) else {
+                    continue;
+                };
+                if best.is_none_or(|(b, _)| score > b) {
+                    best = Some((score, i));
+                }
+            }
+        }
+        // Fallback: largest archive in tech-preference order.
+        let (alignment, idx) = best.unwrap_or_else(|| {
+            let idx = runs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (_, run))| run.len())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            (f64::NAN, idx)
+        });
+        let (tech, run) = &runs[idx];
+        let source = SourceData::from_history(run, specs);
+        let choice = SourceChoice {
+            label: run.problem.clone(),
+            tech: tech.clone(),
+            same_tech: tech == target_tech,
+            alignment,
+            n_evals: run.len(),
+        };
+        Some((source, choice))
+    }
+}
+
+/// Metric index of the objective row in a spec table (0 if absent — every
+/// registered problem has one).
+fn objective_index(specs: &[Spec]) -> usize {
+    specs
+        .iter()
+        .find_map(|s| match s.kind {
+            SpecKind::Objective(Goal::Maximize | Goal::Minimize) => Some(s.metric),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Probe `(x, y_obj)` pairs with a finite objective metric.
+fn probe_objective(probe: &RunHistory, obj: usize) -> Vec<(Vec<f64>, f64)> {
+    probe
+        .evals
+        .iter()
+        .filter(|e| obj < e.metrics.values().len() && e.metrics.get(obj).is_finite())
+        .map(|e| (e.x.clone(), e.metrics.get(obj)))
+        .collect()
+}
+
+/// Alignment of one candidate run to the probe: source GP on the
+/// candidate's objective column → KAT-GP aligned onto *half* the probe →
+/// mean predictive log-likelihood on the **held-out** half. Scoring on
+/// held-out points is essential: the KAT encoder/decoder is flexible
+/// enough to fit any few training points from any source, so in-sample
+/// likelihood measures model capacity, while held-out likelihood measures
+/// whether the source archive actually generalises onto the target.
+/// `None` when either fit fails.
+fn alignment_score(
+    run: &RunHistory,
+    specs: &[Spec],
+    obj: usize,
+    probe_xs: &[Vec<f64>],
+    probe_ys: &[f64],
+) -> Option<f64> {
+    let source = SourceData::from_history(run, specs);
+    let col = source.columns.get(obj)?;
+    let gp_cfg = GpConfig {
+        seed: run.seed,
+        ..GpConfig::fast()
+    };
+    let source_gp = Gp::fit(
+        KernelSpec::ArdRbf { dim: source.dim },
+        &source.xs,
+        col,
+        &gp_cfg,
+    )
+    .ok()?;
+    let kat_cfg = KatConfig {
+        seed: run.seed,
+        ..KatConfig::fast()
+    };
+    // Even-indexed probe points fit the alignment; odd-indexed score it.
+    let (mut fit_xs, mut fit_ys) = (Vec::new(), Vec::new());
+    let (mut held_xs, mut held_ys) = (Vec::new(), Vec::new());
+    for (i, (x, &y)) in probe_xs.iter().zip(probe_ys).enumerate() {
+        if i % 2 == 0 {
+            fit_xs.push(x.clone());
+            fit_ys.push(y);
+        } else {
+            held_xs.push(x.clone());
+            held_ys.push(y);
+        }
+    }
+    let kat = KatGp::fit(&source_gp, &fit_xs, &fit_ys, &kat_cfg).ok()?;
+    let ll = kat.mean_log_likelihood(&held_xs, &held_ys);
+    ll.is_finite().then_some(ll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kato::{BoSettings, Kato, Mode};
+    use kato_circuits::{Metrics, SizingProblem, VarSpec};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kato_bank_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// 1-D toy: maximise `1−(x−c)²` s.t. `x ≥ 0.2`; the centre `c`
+    /// distinguishes "tech nodes". With `flat`, the objective carries no
+    /// information at all — a constant response that no encoder/decoder
+    /// pair can align onto a varying target (the KAT decoder of a constant
+    /// is a constant), the model of an archive whose simulations returned
+    /// garbage.
+    struct Toy {
+        c: f64,
+        flat: bool,
+        name: String,
+        vars: Vec<VarSpec>,
+        specs: Vec<Spec>,
+    }
+
+    impl Toy {
+        fn new(c: f64, name: &str) -> Self {
+            Toy {
+                c,
+                flat: false,
+                name: name.to_string(),
+                vars: vec![VarSpec::lin("a", 0.0, 1.0)],
+                specs: vec![
+                    Spec {
+                        metric: 0,
+                        kind: SpecKind::Objective(Goal::Maximize),
+                    },
+                    Spec {
+                        metric: 1,
+                        kind: SpecKind::GreaterEq(0.2),
+                    },
+                ],
+            }
+        }
+    }
+
+    impl SizingProblem for Toy {
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+        fn variables(&self) -> &[VarSpec] {
+            &self.vars
+        }
+        fn metric_names(&self) -> &[&'static str] {
+            &["obj", "con"]
+        }
+        fn specs(&self) -> &[Spec] {
+            &self.specs
+        }
+        fn evaluate(&self, x: &[f64]) -> Metrics {
+            let obj = if self.flat {
+                0.3
+            } else {
+                1.0 - (x[0] - self.c).powi(2)
+            };
+            Metrics::new(vec![obj, x[0]])
+        }
+        fn expert_design(&self) -> Vec<f64> {
+            vec![self.c]
+        }
+    }
+
+    fn short_run(problem: &dyn SizingProblem, seed: u64) -> RunHistory {
+        Kato::new(BoSettings::quick(16, seed)).run(problem, Mode::Constrained)
+    }
+
+    /// A spread archive: `n` random designs evaluated on `problem`. An
+    /// optimiser trace clusters near its optimum, which leaves the source
+    /// GP extrapolating (confidently wrong) over most of the space; random
+    /// coverage is what makes alignment quality attributable to the
+    /// *source physics* rather than to where the source run happened to
+    /// dwell.
+    fn spread_run(problem: &dyn SizingProblem, n: usize, seed: u64) -> RunHistory {
+        let mut h = RunHistory::new(&problem.name(), "KATO", seed);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        for _ in 0..n {
+            let x = kato_circuits::random_design(problem.dim(), &mut rng);
+            h.evaluate_and_push(problem, &Mode::Constrained, x);
+        }
+        h
+    }
+
+    #[test]
+    fn append_then_reload_roundtrips_runs() {
+        let dir = tmp_dir("roundtrip");
+        let toy = Toy::new(0.6, "toy_180nm");
+        let run = short_run(&toy, 3);
+        {
+            let mut bank = Bank::open(&dir).unwrap();
+            bank.append("toy", "180nm", &run).unwrap();
+            bank.append("toy", "180nm", &short_run(&toy, 5)).unwrap();
+        }
+        // Fresh open reads the manifest back from disk.
+        let bank = Bank::open(&dir).unwrap();
+        assert_eq!(bank.entries().len(), 1);
+        assert_eq!(bank.entries()[0].runs, 2);
+        assert!(bank.has_candidates("toy"));
+        assert!(!bank.has_candidates("other"));
+        let runs = bank.runs("toy", "180nm").unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].evals.len(), run.evals.len());
+        assert_eq!(runs[0].evals[0].x, run.evals[0].x);
+        assert!(bank.runs("toy", "40nm").unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn select_source_prefers_the_aligned_archive() {
+        let dir = tmp_dir("select");
+        let near = Toy::new(0.55, "toy_180nm"); // close to the target physics
+        let mut far = Toy::new(0.05, "toy_28nm"); // zero-information archive
+        far.flat = true;
+        let target = Toy::new(0.6, "toy_40nm");
+        let mut bank = Bank::open(&dir).unwrap();
+        bank.append("toy", "180nm", &spread_run(&near, 24, 3))
+            .unwrap();
+        bank.append("toy", "28nm", &spread_run(&far, 24, 4))
+            .unwrap();
+
+        let mut probe = RunHistory::new(&target.name(), "probe", 1);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        for _ in 0..16 {
+            let x = kato_circuits::random_design(1, &mut rng);
+            probe.evaluate_and_push(&target, &Mode::Constrained, x);
+        }
+        let (source, choice) = bank
+            .select_source("toy", "40nm", target.specs(), &probe)
+            .unwrap();
+        assert_eq!(choice.tech, "180nm", "alignment {:.3}", choice.alignment);
+        assert_eq!(source.label, "toy_180nm");
+        assert!(!choice.same_tech);
+        assert!(choice.alignment.is_finite());
+        assert!(choice.n_evals > 0);
+        // Unknown scenario → no source.
+        assert!(bank
+            .select_source("nope", "40nm", target.specs(), &probe)
+            .is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn select_source_falls_back_without_probe_data() {
+        let dir = tmp_dir("fallback");
+        let toy = Toy::new(0.5, "toy_180nm");
+        let mut bank = Bank::open(&dir).unwrap();
+        bank.append("toy", "180nm", &short_run(&toy, 9)).unwrap();
+        // Empty probe: too few points to score → fallback still warm-starts.
+        let probe = RunHistory::new("toy_40nm", "probe", 1);
+        let (source, choice) = bank
+            .select_source("toy", "40nm", toy.specs(), &probe)
+            .unwrap();
+        assert!(choice.alignment.is_nan());
+        assert_eq!(source.xs.len(), choice.n_evals);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_index_is_reported_not_misread() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("index.json"), "{not json").unwrap();
+        assert!(matches!(Bank::open(&dir), Err(BankError::Corrupt(_))));
+        fs::write(dir.join("index.json"), r#"{"version":99,"entries":[]}"#).unwrap();
+        let err = Bank::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,427 @@
+//! The request loop behind `katod`: parse → cache → (probe → align →
+//! resume) or cold run → persist → respond.
+//!
+//! The daemon is deliberately synchronous at its edges — newline-delimited
+//! JSON in, newline-delimited JSON out — and concurrent in the middle:
+//! [`Daemon::handle_batch`] dedupes identical requests by cache key and
+//! runs the distinct jobs over the [`kato_par`] pool, then applies bank and
+//! cache writes sequentially so the persistent state never races.
+
+use crate::bank::{Bank, SourceChoice};
+use crate::cache::ResultCache;
+use crate::protocol::{error_json, response_json, SizingRequest};
+use kato::{BoSettings, Kato, Mode, RunHistory};
+use kato_circuits::{random_design, ScenarioRegistry, SizingProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, Write};
+
+/// Number of probe simulations spent before querying the bank: half the
+/// cold init, floor 4 — enough target evidence to alignment-score archives
+/// while leaving most of the init budget to the model-guided loop.
+#[must_use]
+pub fn warm_probe_size(n_init: usize) -> usize {
+    (n_init / 2).max(4)
+}
+
+/// Optimiser settings for a request: the quick profile with `n_init`
+/// clamped so tiny budgets still get at least one BO iteration.
+#[must_use]
+pub fn request_settings(budget: usize, seed: u64) -> BoSettings {
+    let mut s = BoSettings::quick(budget, seed);
+    s.n_init = s.n_init.min(budget.saturating_sub(1)).max(1);
+    s
+}
+
+/// Runs one sizing job, warm-starting from `bank` when it holds archives
+/// for the scenario.
+///
+/// The warm path spends [`warm_probe_size`] random probe simulations on
+/// the target, asks the bank for the best-aligned archive
+/// ([`Bank::select_source`]), attaches it as the transfer source and
+/// *resumes* from the probe — so the probe counts toward the budget and a
+/// warm start never simulates more than a cold one. With no bank, no
+/// archives, or a bank miss, it degrades to the cold path (or a source-less
+/// resume of the probe).
+///
+/// Shared by the daemon and the `kato run --bank` CLI path.
+#[must_use]
+pub fn run_with_bank(
+    bank: Option<&Bank>,
+    scenario: &str,
+    tech: &str,
+    problem: &dyn SizingProblem,
+    settings: BoSettings,
+) -> (RunHistory, Option<SourceChoice>) {
+    let warm_bank = bank.filter(|b| b.has_candidates(scenario));
+    let Some(bank) = warm_bank else {
+        return (Kato::new(settings).run(problem, Mode::Constrained), None);
+    };
+    let probe_n = warm_probe_size(settings.n_init).min(settings.budget);
+    let mut probe = RunHistory::new(&problem.name(), "KATO", settings.seed);
+    let mut rng = StdRng::seed_from_u64(settings.seed);
+    for _ in 0..probe_n {
+        probe.evaluate_and_push(
+            problem,
+            &Mode::Constrained,
+            random_design(problem.dim(), &mut rng),
+        );
+    }
+    match bank.select_source(scenario, tech, problem.specs(), &probe) {
+        Some((source, choice)) => {
+            let label = format!("KATO+bank[{}]", choice.label);
+            let history = Kato::new(settings)
+                .with_source(source)
+                .with_label(&label)
+                .resume(problem, Mode::Constrained, probe);
+            (history, Some(choice))
+        }
+        None => (
+            Kato::new(settings).resume(problem, Mode::Constrained, probe),
+            None,
+        ),
+    }
+}
+
+/// The `katod` daemon state: scenario registry, optional knowledge bank,
+/// and the in-memory result cache.
+#[derive(Debug)]
+pub struct Daemon {
+    registry: ScenarioRegistry,
+    bank: Option<Bank>,
+    cache: ResultCache,
+}
+
+/// Outcome of one executed (non-cached) job, before persistence.
+struct JobResult {
+    key: String,
+    request: SizingRequest,
+    tech: String,
+    history: RunHistory,
+    warm: Option<SourceChoice>,
+}
+
+impl Daemon {
+    /// Creates a daemon over the standard scenario registry, bankless.
+    #[must_use]
+    pub fn new() -> Self {
+        Daemon {
+            registry: ScenarioRegistry::standard(),
+            bank: None,
+            cache: ResultCache::new(),
+        }
+    }
+
+    /// Attaches a knowledge bank: completed runs are persisted to it and
+    /// new requests query it for warm starts.
+    #[must_use]
+    pub fn with_bank(mut self, bank: Bank) -> Self {
+        self.bank = Some(bank);
+        self
+    }
+
+    /// The attached bank, if any.
+    #[must_use]
+    pub fn bank(&self) -> Option<&Bank> {
+        self.bank.as_ref()
+    }
+
+    /// The result cache (read-only view).
+    #[must_use]
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Handles one request line, returning one response line (never
+    /// panics on malformed input — errors become error responses).
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let request = match SizingRequest::parse(line) {
+            Ok(r) => r,
+            Err(e) => return error_json("", &e).to_string(),
+        };
+        let (problem, tech) = match request.build_problem(&self.registry) {
+            Ok(p) => p,
+            Err(e) => return error_json(&request.id, &e).to_string(),
+        };
+        let key = request.cache_key(&tech);
+        if let Some(cached) = self.cache.hit(&key) {
+            return response_json(
+                &request,
+                &tech,
+                &*problem,
+                &cached.history,
+                true,
+                cached.warm_source.as_ref(),
+            )
+            .to_string();
+        }
+        let settings = request_settings(request.budget, request.seed);
+        let (history, warm) = run_with_bank(
+            self.bank.as_ref(),
+            &request.scenario,
+            &tech,
+            &*problem,
+            settings,
+        );
+        let response = response_json(&request, &tech, &*problem, &history, false, warm.as_ref());
+        self.persist(JobResult {
+            key,
+            request,
+            tech,
+            history,
+            warm,
+        });
+        response.to_string()
+    }
+
+    /// Appends a completed job to the bank (when attached) and caches it.
+    fn persist(&mut self, job: JobResult) {
+        if let Some(bank) = self.bank.as_mut() {
+            // A failed append must not take the daemon down mid-request;
+            // the run still lives in the cache for this process.
+            if let Err(e) = bank.append(&job.request.scenario, &job.tech, &job.history) {
+                eprintln!("katod: bank append failed: {e}");
+            }
+        }
+        self.cache.store(job.key, job.history, job.warm);
+    }
+
+    /// Handles a batch of request lines concurrently, returning responses
+    /// in request order.
+    ///
+    /// Lines that fail to parse or resolve answer immediately; requests
+    /// whose cache key is already cached (or duplicated *within* the
+    /// batch) are answered from the single execution of that key. Distinct
+    /// jobs run in parallel on the [`kato_par`] pool; bank appends and
+    /// cache stores happen sequentially afterwards.
+    pub fn handle_batch(&mut self, lines: &[String]) -> Vec<String> {
+        // Resolve every line first; collect the distinct keys to execute.
+        // Each slot keeps its *own* request so duplicates still answer
+        // with their caller's id.
+        enum Slot {
+            Ready(String),
+            Cached(String, SizingRequest, String),
+            Job(usize, SizingRequest, String),
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
+        let mut jobs: Vec<(String, SizingRequest, String)> = Vec::new();
+        for line in lines {
+            let request = match SizingRequest::parse(line) {
+                Ok(r) => r,
+                Err(e) => {
+                    slots.push(Slot::Ready(error_json("", &e).to_string()));
+                    continue;
+                }
+            };
+            let tech = match request.build_problem(&self.registry) {
+                Ok((_, tech)) => tech,
+                Err(e) => {
+                    slots.push(Slot::Ready(error_json(&request.id, &e).to_string()));
+                    continue;
+                }
+            };
+            let key = request.cache_key(&tech);
+            if self.cache.contains(&key) {
+                slots.push(Slot::Cached(key, request, tech));
+            } else {
+                let idx = match jobs.iter().position(|(k, _, _)| *k == key) {
+                    Some(idx) => idx,
+                    None => {
+                        jobs.push((key, request.clone(), tech.clone()));
+                        jobs.len() - 1
+                    }
+                };
+                slots.push(Slot::Job(idx, request, tech));
+            }
+        }
+
+        // Execute distinct jobs concurrently; problems are rebuilt inside
+        // the worker so nothing non-Send crosses threads.
+        let registry = &self.registry;
+        let bank = self.bank.as_ref();
+        let results: Vec<JobResult> = kato_par::par_map(&jobs, |(key, request, tech)| {
+            let (problem, _) = request
+                .build_problem(registry)
+                .expect("resolved during batch intake");
+            let settings = request_settings(request.budget, request.seed);
+            let (history, warm) = run_with_bank(bank, &request.scenario, tech, &*problem, settings);
+            JobResult {
+                key: key.clone(),
+                request: request.clone(),
+                tech: tech.clone(),
+                history,
+                warm,
+            }
+        });
+
+        // Render responses (each slot with its own request) before the
+        // results move into the cache; duplicates within the batch count
+        // as cache hits.
+        let mut job_hits = vec![0usize; results.len()];
+        let responses: Vec<String> = slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Ready(text) => text.clone(),
+                Slot::Job(idx, request, tech) => {
+                    let job = &results[*idx];
+                    job_hits[*idx] += 1;
+                    let (problem, _) = request
+                        .build_problem(registry)
+                        .expect("resolved during batch intake");
+                    response_json(
+                        request,
+                        tech,
+                        &*problem,
+                        &job.history,
+                        job_hits[*idx] > 1,
+                        job.warm.as_ref(),
+                    )
+                    .to_string()
+                }
+                Slot::Cached(key, request, tech) => {
+                    let cached = self.cache.hit(key).expect("checked during intake");
+                    let history = cached.history.clone();
+                    let warm = cached.warm_source.clone();
+                    let (problem, _) = request
+                        .build_problem(&self.registry)
+                        .expect("resolved during batch intake");
+                    response_json(request, tech, &*problem, &history, true, warm.as_ref())
+                        .to_string()
+                }
+            })
+            .collect();
+        for job in results {
+            self.persist(job);
+        }
+        responses
+    }
+
+    /// Serves newline-delimited JSON: one request per input line, one
+    /// response line written (and flushed) per request, until EOF. Blank
+    /// lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the transport (a malformed *request* is
+    /// answered, not an error).
+    pub fn serve(&mut self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writeln!(output, "{response}")?;
+            output.flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Daemon {
+    fn default() -> Self {
+        Daemon::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn probe_size_and_settings_clamp() {
+        assert_eq!(warm_probe_size(10), 5);
+        assert_eq!(warm_probe_size(4), 4);
+        assert_eq!(warm_probe_size(0), 4);
+        let s = request_settings(6, 1);
+        assert_eq!(s.n_init, 5);
+        assert_eq!(s.budget, 6);
+        let s = request_settings(40, 1);
+        assert_eq!(s.n_init, 10);
+    }
+
+    #[test]
+    fn malformed_lines_answer_with_errors() {
+        let mut d = Daemon::new();
+        let resp = d.handle_line("not json");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("error"));
+        let resp = d.handle_line(r#"{"scenario":"nope"}"#);
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("error"));
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("opamp2"));
+    }
+
+    #[test]
+    fn identical_requests_dedupe_through_the_cache() {
+        let mut d = Daemon::new();
+        let line = r#"{"id":"a","scenario":"opamp2","budget":12,"seed":3}"#.to_string();
+        let first = d.handle_line(&line);
+        let doc1 = Json::parse(&first).unwrap();
+        assert_eq!(doc1.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(doc1.get("n_evals").unwrap().as_f64(), Some(12.0));
+        // Same request, different id: a hit with the same trace.
+        let second = d.handle_line(r#"{"id":"b","scenario":"opamp2","budget":12,"seed":3}"#);
+        let doc2 = Json::parse(&second).unwrap();
+        assert_eq!(doc2.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(doc2.get("id").unwrap().as_str(), Some("b"));
+        assert_eq!(
+            doc1.get("best").unwrap().to_string(),
+            doc2.get("best").unwrap().to_string()
+        );
+        assert_eq!(d.cache().len(), 1);
+    }
+
+    #[test]
+    fn batch_answers_in_order_and_dedupes_within_the_batch() {
+        let mut d = Daemon::new();
+        let lines = vec![
+            r#"{"id":"1","scenario":"opamp2","budget":10,"seed":2}"#.to_string(),
+            "garbage".to_string(),
+            r#"{"id":"2","scenario":"opamp2","budget":10,"seed":2}"#.to_string(),
+        ];
+        let out = d.handle_batch(&lines);
+        assert_eq!(out.len(), 3);
+        let a = Json::parse(&out[0]).unwrap();
+        let err = Json::parse(&out[1]).unwrap();
+        let b = Json::parse(&out[2]).unwrap();
+        assert_eq!(a.get("id").unwrap().as_str(), Some("1"));
+        assert_eq!(err.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(b.get("id").unwrap().as_str(), Some("2"));
+        // Both non-error responses share one execution.
+        assert_eq!(d.cache().len(), 1);
+        assert_eq!(
+            a.get("n_evals").unwrap().as_f64(),
+            b.get("n_evals").unwrap().as_f64()
+        );
+    }
+
+    #[test]
+    fn serve_loop_reads_writes_and_skips_blanks() {
+        let mut d = Daemon::new();
+        let input = "\n{\"id\":\"s1\",\"scenario\":\"opamp2\",\"budget\":8,\"seed\":5}\n\nbroken\n";
+        let mut out = Vec::new();
+        d.serve(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert_eq!(
+            Json::parse(lines[0]).unwrap().get("id").unwrap().as_str(),
+            Some("s1")
+        );
+        assert_eq!(
+            Json::parse(lines[1])
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str(),
+            Some("error")
+        );
+    }
+}

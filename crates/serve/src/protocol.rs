@@ -1,0 +1,383 @@
+//! The `katod` wire protocol: newline-delimited JSON requests and
+//! responses.
+//!
+//! One request per line, one response line per request, in order — the
+//! shape that works identically over stdin/stdout, a Unix socket, or a
+//! file of queued jobs. A request names a registered scenario and
+//! optionally overrides tech node, corner, spec bounds, seed and budget:
+//!
+//! ```json
+//! {"id":"job-1","scenario":"opamp2","tech":"40nm","corner":"tt",
+//!  "specs":{"gain_db":55.0},"seed":11,"budget":40}
+//! ```
+//!
+//! Unknown top-level keys are rejected (a typo'd field silently ignored is
+//! a wrong answer delivered with confidence). Responses carry the run's
+//! outcome plus serving metadata — whether the result was a cache hit and
+//! which bank archive (if any) warm-started it.
+
+use crate::bank::SourceChoice;
+use crate::json::Json;
+use kato::{RunHistory, WorstCaseProblem};
+use kato_circuits::{OverriddenProblem, ScenarioRegistry, SizingProblem};
+
+/// Top-level request keys the daemon understands.
+const ALLOWED_KEYS: &[&str] = &[
+    "id", "scenario", "tech", "corner", "specs", "seed", "budget",
+];
+
+/// Default simulation budget when the request omits one.
+pub const DEFAULT_BUDGET: usize = 40;
+/// Default seed when the request omits one.
+pub const DEFAULT_SEED: u64 = 11;
+/// Budgets above this are rejected as misconfigured rather than queued.
+pub const MAX_BUDGET: usize = 5000;
+
+/// A parsed sizing request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingRequest {
+    /// Caller-chosen correlation id, echoed in the response (may be empty).
+    pub id: String,
+    /// Registered scenario name, e.g. `opamp2`.
+    pub scenario: String,
+    /// Tech node; `None` uses the scenario's default.
+    pub tech: Option<String>,
+    /// Corner name (`"tt"` default), or `"worst"` for worst-case-over-the-
+    /// registered-sweep optimisation.
+    pub corner: String,
+    /// Spec-bound overrides as `(metric, bound)` pairs in request order.
+    pub overrides: Vec<(String, f64)>,
+    /// Optimiser seed.
+    pub seed: u64,
+    /// Total simulation budget.
+    pub budget: usize,
+}
+
+impl SizingRequest {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformed JSON, unknown key, or invalid
+    /// field value.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let doc = Json::parse(line)?;
+        let pairs = doc.as_obj().ok_or("request must be a JSON object")?;
+        for (key, _) in pairs {
+            if !ALLOWED_KEYS.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown request key '{key}' (allowed: {})",
+                    ALLOWED_KEYS.join(", ")
+                ));
+            }
+        }
+        let scenario = doc
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or("missing required string field 'scenario'")?
+            .to_string();
+        let id = doc
+            .get("id")
+            .map(|v| v.as_str().ok_or("'id' must be a string"))
+            .transpose()?
+            .unwrap_or("")
+            .to_string();
+        let tech = doc
+            .get("tech")
+            .map(|v| v.as_str().ok_or("'tech' must be a string"))
+            .transpose()?
+            .map(str::to_string);
+        let corner = doc
+            .get("corner")
+            .map(|v| v.as_str().ok_or("'corner' must be a string"))
+            .transpose()?
+            .unwrap_or("tt")
+            .to_string();
+        let seed = match doc.get("seed") {
+            None => DEFAULT_SEED,
+            Some(v) => v.as_u64().ok_or("'seed' must be a non-negative integer")?,
+        };
+        let budget = match doc.get("budget") {
+            None => DEFAULT_BUDGET,
+            Some(v) => v.as_u64().ok_or("'budget' must be a positive integer")? as usize,
+        };
+        if !(2..=MAX_BUDGET).contains(&budget) {
+            return Err(format!(
+                "'budget' must be in 2..={MAX_BUDGET}, got {budget}"
+            ));
+        }
+        let mut overrides = Vec::new();
+        if let Some(specs) = doc.get("specs") {
+            let entries = specs.as_obj().ok_or("'specs' must be an object")?;
+            for (metric, bound) in entries {
+                let v = bound
+                    .as_f64()
+                    .ok_or_else(|| format!("spec override '{metric}' must be a number"))?;
+                overrides.push((metric.clone(), v));
+            }
+        }
+        Ok(SizingRequest {
+            id,
+            scenario,
+            tech,
+            corner,
+            overrides,
+            seed,
+            budget,
+        })
+    }
+
+    /// The request's cache/dedupe identity given its resolved tech node:
+    /// everything the optimiser's output depends on, with overrides sorted
+    /// by metric name so spelling order doesn't defeat dedupe. The `id` is
+    /// deliberately excluded.
+    #[must_use]
+    pub fn cache_key(&self, resolved_tech: &str) -> String {
+        let mut specs: Vec<&(String, f64)> = self.overrides.iter().collect();
+        specs.sort_by(|a, b| a.0.cmp(&b.0));
+        let specs: Vec<String> = specs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.scenario,
+            resolved_tech,
+            self.corner,
+            specs.join(","),
+            self.seed,
+            self.budget
+        )
+    }
+
+    /// Resolves the request against the registry into a ready-to-optimise
+    /// problem plus the resolved tech-node name.
+    ///
+    /// `corner: "worst"` builds the scenario's [`WorstCaseProblem`] over
+    /// its registered sweep; any other corner name builds the single-corner
+    /// problem. Spec overrides wrap the result in an [`OverriddenProblem`].
+    ///
+    /// # Errors
+    ///
+    /// A message for unknown scenario/tech/corner or a bad override.
+    pub fn build_problem(
+        &self,
+        registry: &ScenarioRegistry,
+    ) -> Result<(Box<dyn SizingProblem>, String), String> {
+        let scenario = registry.get(&self.scenario).map_err(|e| e.to_string())?;
+        let tech = self
+            .tech
+            .as_deref()
+            .unwrap_or(scenario.default_tech)
+            .to_string();
+        let base: Box<dyn SizingProblem> = if self.corner == "worst" {
+            Box::new(WorstCaseProblem::new(scenario, &tech).map_err(|e| e.to_string())?)
+        } else {
+            let corner = scenario.corner(&self.corner).map_err(|e| e.to_string())?;
+            scenario.build(&tech, &corner).map_err(|e| e.to_string())?
+        };
+        let problem = OverriddenProblem::new(base, &self.overrides)?;
+        Ok((Box::new(problem), tech))
+    }
+}
+
+/// First simulation count at which a feasible design appeared, if any.
+#[must_use]
+pub fn sims_to_feasible(history: &RunHistory) -> Option<usize> {
+    history.evals.iter().position(|e| e.feasible).map(|i| i + 1)
+}
+
+/// Builds the success-response document for a completed (or replayed) run.
+#[must_use]
+pub fn response_json(
+    request: &SizingRequest,
+    resolved_tech: &str,
+    problem: &dyn SizingProblem,
+    history: &RunHistory,
+    cache_hit: bool,
+    warm: Option<&SourceChoice>,
+) -> Json {
+    let warm_json = match warm {
+        None => Json::Null,
+        Some(w) => Json::obj(vec![
+            ("source", Json::str(&w.label)),
+            ("tech", Json::str(&w.tech)),
+            ("same_tech", Json::Bool(w.same_tech)),
+            ("alignment", Json::Num(w.alignment)),
+            ("n_evals", Json::Num(w.n_evals as f64)),
+        ]),
+    };
+    let best_json = match history.best() {
+        None => Json::Null,
+        Some(best) => {
+            let metrics: Vec<(String, Json)> = problem
+                .metric_names()
+                .iter()
+                .zip(best.metrics.values())
+                .map(|(name, &v)| ((*name).to_string(), Json::Num(v)))
+                .collect();
+            Json::obj(vec![
+                ("x", Json::nums(&best.x)),
+                ("score", Json::Num(best.score)),
+                ("metrics", Json::Obj(metrics)),
+            ])
+        }
+    };
+    let feasible = history.best().is_some_and(|b| b.feasible);
+    Json::obj(vec![
+        ("id", Json::str(&request.id)),
+        ("status", Json::str("ok")),
+        ("scenario", Json::str(&request.scenario)),
+        ("tech", Json::str(resolved_tech)),
+        ("corner", Json::str(&request.corner)),
+        ("seed", Json::Num(request.seed as f64)),
+        ("budget", Json::Num(request.budget as f64)),
+        ("cache_hit", Json::Bool(cache_hit)),
+        ("warm_start", warm_json),
+        ("n_evals", Json::Num(history.len() as f64)),
+        ("feasible", Json::Bool(feasible)),
+        (
+            "sims_to_feasible",
+            sims_to_feasible(history).map_or(Json::Null, |n| Json::Num(n as f64)),
+        ),
+        ("best", best_json),
+    ])
+}
+
+/// Builds the error-response document for a rejected request.
+#[must_use]
+pub fn error_json(id: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(id)),
+        ("status", Json::str("error")),
+        ("error", Json::str(message)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_fills_defaults() {
+        let req = SizingRequest::parse(r#"{"scenario":"opamp2"}"#).unwrap();
+        assert_eq!(req.scenario, "opamp2");
+        assert_eq!(req.id, "");
+        assert_eq!(req.tech, None);
+        assert_eq!(req.corner, "tt");
+        assert_eq!(req.seed, DEFAULT_SEED);
+        assert_eq!(req.budget, DEFAULT_BUDGET);
+        assert!(req.overrides.is_empty());
+    }
+
+    #[test]
+    fn parse_reads_every_field() {
+        let req = SizingRequest::parse(
+            r#"{"id":"j1","scenario":"ldo","tech":"40nm","corner":"ss_125c",
+                "specs":{"psrr_db":45.0,"pm_deg":50.0},"seed":7,"budget":25}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, "j1");
+        assert_eq!(req.tech.as_deref(), Some("40nm"));
+        assert_eq!(req.corner, "ss_125c");
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.budget, 25);
+        assert_eq!(
+            req.overrides,
+            vec![("psrr_db".to_string(), 45.0), ("pm_deg".to_string(), 50.0)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_requests() {
+        for (line, needle) in [
+            ("[1,2]", "object"),
+            (r#"{"tech":"40nm"}"#, "scenario"),
+            (r#"{"scenario":"ldo","bugdet":9}"#, "unknown request key"),
+            (r#"{"scenario":"ldo","budget":1}"#, "budget"),
+            (r#"{"scenario":"ldo","seed":-3}"#, "seed"),
+            (r#"{"scenario":"ldo","specs":{"pm_deg":"high"}}"#, "pm_deg"),
+            ("not json", "byte"),
+        ] {
+            let err = SizingRequest::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn cache_key_normalises_override_order_and_ignores_id() {
+        let a = SizingRequest::parse(
+            r#"{"id":"a","scenario":"ldo","specs":{"pm_deg":50.0,"psrr_db":45.0}}"#,
+        )
+        .unwrap();
+        let b = SizingRequest::parse(
+            r#"{"id":"b","scenario":"ldo","specs":{"psrr_db":45.0,"pm_deg":50.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(a.cache_key("180nm"), b.cache_key("180nm"));
+        assert_ne!(a.cache_key("180nm"), a.cache_key("40nm"));
+        let c = SizingRequest::parse(r#"{"scenario":"ldo","seed":12}"#).unwrap();
+        assert_ne!(a.cache_key("180nm"), c.cache_key("180nm"));
+    }
+
+    #[test]
+    fn build_problem_resolves_tech_corner_and_overrides() {
+        let reg = ScenarioRegistry::standard();
+        let req = SizingRequest::parse(r#"{"scenario":"opamp2"}"#).unwrap();
+        let (p, tech) = req.build_problem(&reg).unwrap();
+        assert_eq!(tech, "180nm");
+        assert_eq!(p.name(), "opamp2_180nm");
+
+        let req =
+            SizingRequest::parse(r#"{"scenario":"opamp2","tech":"40nm","specs":{"gain_db":55.0}}"#)
+                .unwrap();
+        let (p, tech) = req.build_problem(&reg).unwrap();
+        assert_eq!(tech, "40nm");
+        assert!(p.name().contains("custom"), "{}", p.name());
+
+        let req = SizingRequest::parse(r#"{"scenario":"opamp2","corner":"worst"}"#).unwrap();
+        let (p, _) = req.build_problem(&reg).unwrap();
+        assert!(p.name().contains("worst"), "{}", p.name());
+
+        for bad in [
+            r#"{"scenario":"nope"}"#,
+            r#"{"scenario":"bandgap","tech":"40nm"}"#,
+            r#"{"scenario":"opamp2","corner":"zz_12c"}"#,
+            r#"{"scenario":"opamp2","specs":{"nope":1.0}}"#,
+        ] {
+            let req = SizingRequest::parse(bad).unwrap();
+            assert!(req.build_problem(&reg).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn responses_echo_request_and_outcome() {
+        let reg = ScenarioRegistry::standard();
+        let req = SizingRequest::parse(r#"{"id":"r1","scenario":"opamp2","budget":4}"#).unwrap();
+        let (problem, tech) = req.build_problem(&reg).unwrap();
+        let mut h = RunHistory::new(&problem.name(), "KATO", req.seed);
+        h.evaluate_and_push(
+            &*problem,
+            &kato::Mode::Constrained,
+            vec![0.5; problem.dim()],
+        );
+        let doc = response_json(&req, &tech, &*problem, &h, false, None);
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("n_evals").unwrap().as_f64(), Some(1.0));
+        assert!(doc.get("warm_start").unwrap().is_null());
+        // Feasibility flag and best agree with the history.
+        let feasible = doc.get("feasible").unwrap().as_bool().unwrap();
+        assert_eq!(feasible, h.best().map(|b| b.feasible).unwrap_or(false));
+        if h.best().is_none() {
+            assert!(doc.get("best").unwrap().is_null());
+            assert!(doc.get("sims_to_feasible").unwrap().is_null());
+        } else {
+            assert!(doc.get("best").unwrap().get("metrics").is_some());
+        }
+        // And the line parses back.
+        assert!(Json::parse(&doc.to_string()).is_ok());
+
+        let err = error_json("r2", "unknown scenario 'x'");
+        assert_eq!(err.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(err.get("id").unwrap().as_str(), Some("r2"));
+    }
+}
