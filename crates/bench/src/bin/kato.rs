@@ -228,6 +228,7 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
                         tech,
                         problem.as_ref(),
                         quick_settings(opts.budget, seed),
+                        None,
                     );
                     bank.append(name, tech, &h).map_err(|e| e.to_string())?;
                     histories.push(h);

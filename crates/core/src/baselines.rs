@@ -36,7 +36,7 @@ impl RandomSearch {
     pub fn run(&self, problem: &dyn SizingProblem, mode: Mode) -> RunHistory {
         let history = RunHistory::new(&problem.name(), "RS", self.settings.seed);
         let mut rng = StdRng::seed_from_u64(self.settings.seed);
-        fill_random(history, problem, &mode, &self.settings, &mut rng)
+        fill_random(history, problem, &mode, &self.settings, None, &mut rng)
     }
 }
 
@@ -87,7 +87,7 @@ impl MaceOptimizer {
         let specs = modelled_specs(problem, &mode);
         let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
-            return fill_random(history, problem, &mode, s, &mut rng);
+            return fill_random(history, problem, &mode, s, None, &mut rng);
         };
         let proposer = MaceProposer::new(self.variant);
         let refit_cfg = ModelConfig {
@@ -235,7 +235,7 @@ impl Mesmoc {
         };
         let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
-            return fill_random(history, problem, &mode, s, &mut rng);
+            return fill_random(history, problem, &mode, s, None, &mut rng);
         };
         let refit_cfg = ModelConfig {
             gp: GpConfig {
@@ -333,7 +333,7 @@ impl Usemoc {
         };
         let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
-            return fill_random(history, problem, &mode, s, &mut rng);
+            return fill_random(history, problem, &mode, s, None, &mut rng);
         };
         let refit_cfg = ModelConfig {
             gp: GpConfig {
@@ -458,7 +458,7 @@ impl Tlmbo {
             let Ok(models) =
                 MetricModels::fit_gp(dim, &xs, &[ys], &crate::model::fom_specs(), &model_cfg)
             else {
-                return fill_random(history, problem, &mode, s, &mut rng);
+                return fill_random(history, problem, &mode, s, None, &mut rng);
             };
             let incumbent = acquisition_incumbent(&history, problem, &mode);
             let warm = warm_starts(&history, 5);

@@ -1,0 +1,124 @@
+//! Cooperative run cancellation: deadlines, simulation caps and cancel
+//! flags checked between simulations.
+//!
+//! The optimiser loop is synchronous and CPU-bound, so cancellation has to
+//! be *cooperative*: [`Kato`](crate::Kato) consults an attached
+//! [`RunBudget`] before every simulation and at every BO iteration, and
+//! when the budget is exhausted it stops proposing and returns the
+//! best-so-far trace instead of hanging (or being killed from outside with
+//! the partial trace lost). A run cut short this way is *degraded*, not
+//! failed — detectable as `history.len() < settings.budget` — and serving
+//! layers surface that to the caller rather than caching a partial result
+//! as if it were complete.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Limits a run may not exceed, all optional and combinable.
+///
+/// An empty (default) budget never trips. The checks are cheap — one
+/// `Instant::now()` and two loads — and are evaluated between simulations,
+/// so the granularity of cancellation is one simulator call.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock instant after which no further simulation starts.
+    pub deadline: Option<Instant>,
+    /// Hard cap on total simulations in the history (tighter than the
+    /// settings budget; e.g. a load-shedding daemon degrading requests).
+    pub sim_cap: Option<usize>,
+    /// External cancel flag: set it from another thread (a connection
+    /// drop, a shutdown signal) and the run winds down at the next check.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RunBudget {
+    /// A budget with no limits (never exhausted).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// A budget that expires `ms` milliseconds from now.
+    #[must_use]
+    pub fn deadline_ms(ms: u64) -> Self {
+        RunBudget {
+            deadline: Some(Instant::now() + Duration::from_millis(ms)),
+            ..RunBudget::default()
+        }
+    }
+
+    /// Adds a simulation cap to this budget.
+    #[must_use]
+    pub fn with_sim_cap(mut self, cap: usize) -> Self {
+        self.sim_cap = Some(cap);
+        self
+    }
+
+    /// Adds a cancel flag to this budget (set the flag to cancel).
+    #[must_use]
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// `true` once any attached limit is hit, given the number of
+    /// simulations recorded so far.
+    #[must_use]
+    pub fn exhausted(&self, sims_done: usize) -> bool {
+        if let Some(cap) = self.sim_cap {
+            if sims_done >= cap {
+                return true;
+            }
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = RunBudget::unlimited();
+        assert!(!b.exhausted(0));
+        assert!(!b.exhausted(usize::MAX));
+    }
+
+    #[test]
+    fn sim_cap_trips_at_the_cap() {
+        let b = RunBudget::unlimited().with_sim_cap(5);
+        assert!(!b.exhausted(4));
+        assert!(b.exhausted(5));
+        assert!(b.exhausted(6));
+    }
+
+    #[test]
+    fn cancel_flag_trips_when_set() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let b = RunBudget::unlimited().with_cancel(flag.clone());
+        assert!(!b.exhausted(0));
+        flag.store(true, Ordering::Relaxed);
+        assert!(b.exhausted(0));
+    }
+
+    #[test]
+    fn deadline_trips_once_passed() {
+        let b = RunBudget::deadline_ms(0);
+        // A zero-millisecond deadline is already in the past by the check.
+        assert!(b.exhausted(0));
+        let b = RunBudget::deadline_ms(60_000);
+        assert!(!b.exhausted(0));
+    }
+}

@@ -1,6 +1,6 @@
 use crate::mace::{MaceProposer, MaceVariant};
 use crate::model::{fit_source_gps, fom_specs, metric_columns};
-use crate::{BoSettings, MetricModels, Mode, ModelConfig, RunHistory, StlWeights};
+use crate::{BoSettings, MetricModels, Mode, ModelConfig, RunBudget, RunHistory, StlWeights};
 use kato_circuits::{random_design, FomSpec, Metrics, SizingProblem, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,6 +105,7 @@ pub struct Kato {
     source: Option<SourceData>,
     label: String,
     stl: bool,
+    run_budget: Option<RunBudget>,
 }
 
 impl Kato {
@@ -116,7 +117,27 @@ impl Kato {
             source: None,
             label: "KATO".to_string(),
             stl: true,
+            run_budget: None,
         }
+    }
+
+    /// Attaches a cooperative [`RunBudget`]: deadline, simulation cap
+    /// and/or cancel flag, checked before every simulation. A run whose
+    /// budget trips returns the best-so-far history early (fewer
+    /// evaluations than `settings.budget`) instead of hanging — the
+    /// *degraded* outcome serving layers report to callers.
+    #[must_use]
+    pub fn with_run_budget(mut self, budget: RunBudget) -> Self {
+        self.run_budget = Some(budget);
+        self
+    }
+
+    /// `true` once the attached run budget (if any) is exhausted at
+    /// `sims_done` completed simulations.
+    fn budget_exhausted(&self, sims_done: usize) -> bool {
+        self.run_budget
+            .as_ref()
+            .is_some_and(|b| b.exhausted(sims_done))
     }
 
     /// Attaches a source archive, enabling KAT-GP + STL.
@@ -150,6 +171,9 @@ impl Kato {
         let mut history = RunHistory::new(&problem.name(), &self.label, s.seed);
         let mut rng = StdRng::seed_from_u64(s.seed);
         for _ in 0..s.n_init.min(s.budget) {
+            if self.budget_exhausted(history.len()) {
+                return history;
+            }
             history.evaluate_and_push(problem, &mode, random_design(problem.dim(), &mut rng));
         }
         self.resume_with_rng(problem, mode, history, rng)
@@ -206,7 +230,14 @@ impl Kato {
         let specs = modelled_specs(problem, &mode);
         let (xs, cols) = training_view(&history, problem, &mode);
         let Ok(mut neuk_models) = MetricModels::fit_gp(dim, &xs, &cols, &specs, &model_cfg) else {
-            return fill_random(history, problem, &mode, s, &mut rng);
+            return fill_random(
+                history,
+                problem,
+                &mode,
+                s,
+                self.run_budget.as_ref(),
+                &mut rng,
+            );
         };
 
         // Optional transfer stack.
@@ -233,6 +264,11 @@ impl Kato {
 
         let mut iteration: u64 = 0;
         while history.len() < s.budget {
+            // Cooperative cancellation point: a tripped deadline/cap/flag
+            // ends the run here with the best-so-far trace.
+            if self.budget_exhausted(history.len()) {
+                break;
+            }
             iteration += 1;
             let incumbent = acquisition_incumbent(&history, problem, &mode);
             let warm = warm_starts(&history, 5);
@@ -277,7 +313,7 @@ impl Kato {
             for (i, batch) in batches.iter().enumerate() {
                 let mut improvements = 0;
                 for x in batch {
-                    if history.len() >= s.budget {
+                    if history.len() >= s.budget || self.budget_exhausted(history.len()) {
                         break;
                     }
                     let score = history.evaluate_and_push(problem, &mode, x.clone());
@@ -410,15 +446,20 @@ pub(crate) fn warm_starts(history: &RunHistory, k: usize) -> Vec<Vec<f64>> {
 }
 
 /// Fallback when surrogate fitting fails outright: spend the remaining
-/// budget on random search rather than aborting the run.
+/// budget on random search rather than aborting the run (still honouring
+/// an attached [`RunBudget`]).
 pub(crate) fn fill_random(
     mut history: RunHistory,
     problem: &dyn SizingProblem,
     mode: &Mode,
     settings: &BoSettings,
+    run_budget: Option<&RunBudget>,
     rng: &mut StdRng,
 ) -> RunHistory {
     while history.len() < settings.budget {
+        if run_budget.is_some_and(|b| b.exhausted(history.len())) {
+            break;
+        }
         history.evaluate_and_push(problem, mode, random_design(problem.dim(), rng));
     }
     history
@@ -547,6 +588,39 @@ mod tests {
         assert_eq!(src.label, "nan_zone");
         for col in &src.columns {
             assert!(col.iter().all(|v| v.is_finite()), "{:?}", src.columns);
+        }
+    }
+
+    #[test]
+    fn run_budget_degrades_instead_of_overrunning() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let toy = Toy::new();
+        // Sim cap below the settings budget: the run returns early with
+        // exactly the capped number of evaluations.
+        let h = Kato::new(BoSettings::quick(30, 5))
+            .with_run_budget(RunBudget::unlimited().with_sim_cap(13))
+            .run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 13);
+        // A pre-set cancel flag stops the run before the first simulation.
+        let flag = Arc::new(AtomicBool::new(true));
+        let h = Kato::new(BoSettings::quick(30, 5))
+            .with_run_budget(RunBudget::unlimited().with_cancel(flag))
+            .run(&toy, Mode::Constrained);
+        assert_eq!(h.len(), 0);
+        // An already-expired deadline yields the same degraded-but-clean exit.
+        let h = Kato::new(BoSettings::quick(30, 5))
+            .with_run_budget(RunBudget::deadline_ms(0))
+            .run(&toy, Mode::Constrained);
+        assert!(h.len() < 30);
+        // And an unlimited budget changes nothing.
+        let full = Kato::new(BoSettings::quick(18, 5))
+            .with_run_budget(RunBudget::unlimited())
+            .run(&toy, Mode::Constrained);
+        let plain = Kato::new(BoSettings::quick(18, 5)).run(&toy, Mode::Constrained);
+        assert_eq!(full.len(), 18);
+        for (a, b) in full.evals.iter().zip(&plain.evals) {
+            assert_eq!(a.x, b.x);
         }
     }
 

@@ -35,6 +35,7 @@
 
 pub mod acquisition;
 pub mod baselines;
+mod budget;
 pub mod corners;
 mod history;
 mod kato_opt;
@@ -44,6 +45,7 @@ pub mod sampling;
 mod settings;
 pub mod stl;
 
+pub use budget::RunBudget;
 pub use corners::{corner_audit, CornerEval, WorstCaseProblem};
 pub use history::{EvalRecord, RunHistory};
 pub use kato_opt::{Kato, SourceData};

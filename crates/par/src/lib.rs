@@ -28,6 +28,17 @@
 //! unparsable values fall back to the same default). It is re-read on every
 //! call, so tests and long-lived processes can re-tune without restarting.
 //!
+//! # Panic isolation
+//!
+//! The `try_*` variants ([`try_par_map`], [`try_par_chunks`], [`try_join`])
+//! catch a panicking work item with [`std::panic::catch_unwind`] and return
+//! it as an `Err` carrying the panic payload's message, while every other
+//! item completes normally — the property a serving process needs to turn
+//! one crashing job into one failed response instead of a dead daemon. The
+//! panicking APIs delegate to them and re-panic with the first captured
+//! message, so legacy callers keep fail-fast semantics (note the re-raised
+//! panic carries the message string, not the original payload object).
+//!
 //! # Example
 //!
 //! ```
@@ -35,9 +46,18 @@
 //! assert_eq!(squares, vec![1.0, 4.0, 9.0]);
 //! let (a, b) = kato_par::join(|| 2 + 2, || "two");
 //! assert_eq!((a, b), (4, "two"));
+//!
+//! let out = kato_par::try_par_map(&[1, 2, 3], |&i| {
+//!     assert!(i != 2, "boom on {i}");
+//!     i * 10
+//! });
+//! assert_eq!(out[0], Ok(10));
+//! assert!(out[1].as_ref().is_err_and(|m| m.contains("boom on 2")));
+//! assert_eq!(out[2], Ok(30));
 //! ```
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
 /// Number of worker threads the helpers in this crate will use:
@@ -71,29 +91,67 @@ fn join_in_order<R>(handles: Vec<thread::ScopedJoinHandle<'_, Vec<R>>>, capacity
     out
 }
 
+/// Extracts a human-readable message from a panic payload: the `&str` or
+/// `String` that `panic!` produces, or a placeholder for exotic payloads
+/// (`panic_any` with a non-string type).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fault-isolating sibling of [`par_map`]: applies `f` to every item across
+/// the pool and returns, **in input order**, `Ok(result)` per item — or
+/// `Err(message)` for an item whose closure panicked, without disturbing
+/// any other item. The catch is per *item*, so one poisoned input in a
+/// chunk does not take its chunk-mates down with it.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let caught =
+        move |t: &T| catch_unwind(AssertUnwindSafe(|| f(t))).map_err(|p| panic_message(&*p));
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(caught).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let caught = &caught;
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(caught).collect::<Vec<_>>()))
+            .collect();
+        // Workers catch their own panics, so joins only fail on the
+        // unrecoverable (worker killed by the runtime) — propagate that.
+        join_in_order(handles, items.len())
+    })
+}
+
 /// Applies `f` to every item, fanning out across the pool, and returns the
 /// results **in input order**. With one thread (or one item) this is exactly
 /// `items.iter().map(f).collect()`, so seeded pipelines stay reproducible
 /// across thread counts.
+///
+/// Delegates to [`try_par_map`]; a panicking item re-raises here (with the
+/// captured message) after the rest of the fan-out completed.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = num_threads().min(items.len());
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        join_in_order(handles, items.len())
-    })
+    try_par_map(items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("{msg}")))
+        .collect()
 }
 
 /// Mutable sibling of [`par_map`]: applies `f` to every item through a
@@ -121,30 +179,94 @@ where
     })
 }
 
+/// Fault-isolating sibling of [`par_chunks`]: maps each contiguous chunk
+/// through `f` concurrently and returns one `Result` **per chunk**, in
+/// input order — `Ok(outputs)` or `Err(message)` when that chunk's closure
+/// panicked. Chunk boundaries follow [`num_threads`]: `ceil(len/threads)`
+/// items per chunk (a single chunk — and a single `Result` — under a
+/// one-thread configuration).
+pub fn try_par_chunks<T, R, F>(items: &[T], f: F) -> Vec<Result<Vec<R>, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let caught =
+        move |c: &[T]| catch_unwind(AssertUnwindSafe(|| f(c))).map_err(|p| panic_message(&*p));
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return vec![caught(items)];
+    }
+    let chunk = items.len().div_ceil(threads);
+    let caught = &caught;
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || caught(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
 /// Splits `items` into at most [`num_threads`] contiguous chunks, maps each
 /// chunk through `f` concurrently, and concatenates the per-chunk outputs
 /// in input order — the entry point for closures that already work on
 /// batches (e.g. one batched linear-algebra call per chunk).
+///
+/// Delegates to [`try_par_chunks`]; a panicking chunk re-raises here (with
+/// the captured message) after the other chunks completed.
 pub fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
-    let threads = num_threads().min(items.len());
-    if threads <= 1 {
-        return f(items);
+    try_par_chunks(items, f)
+        .into_iter()
+        .flat_map(|r| r.unwrap_or_else(|msg| panic!("{msg}")))
+        .collect()
+}
+
+/// Fault-isolating sibling of [`join`]: runs two closures concurrently
+/// (serially under a single-thread configuration) and returns both
+/// outcomes, each `Ok(result)` or `Err(message)` when that closure
+/// panicked — one side crashing never loses the other side's work.
+pub fn try_join<RA, RB, A, B>(a: A, b: B) -> (Result<RA, String>, Result<RB, String>)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    let ca = move || catch_unwind(AssertUnwindSafe(a)).map_err(|p| panic_message(&*p));
+    let cb = move || catch_unwind(AssertUnwindSafe(b)).map_err(|p| panic_message(&*p));
+    if num_threads() <= 1 {
+        return (ca(), cb());
     }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
     thread::scope(|s| {
-        let handles: Vec<_> = items.chunks(chunk).map(|c| s.spawn(move || f(c))).collect();
-        join_in_order(handles, items.len())
+        let ha = s.spawn(ca);
+        let rb = cb();
+        match ha.join() {
+            Ok(ra) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     })
 }
 
 /// Runs two closures concurrently (serially under a single-thread
 /// configuration) and returns both results.
+///
+/// Delegates to [`try_join`]; if either closure panicked the panic
+/// re-raises here (with the captured message) after both finished.
 pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
 where
     RA: Send,
@@ -152,17 +274,10 @@ where
     A: FnOnce() -> RA + Send,
     B: FnOnce() -> RB + Send,
 {
-    if num_threads() <= 1 {
-        return (a(), b());
+    match try_join(a, b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(msg), _) | (_, Err(msg)) => panic!("{msg}"),
     }
-    thread::scope(|s| {
-        let ha = s.spawn(a);
-        let rb = b();
-        match ha.join() {
-            Ok(ra) => (ra, rb),
-            Err(payload) => std::panic::resume_unwind(payload),
-        }
-    })
 }
 
 #[cfg(test)]
@@ -220,5 +335,88 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    /// Capture-less hook swap so the panic tests don't spray backtraces
+    /// into the test output; restores the default on drop.
+    fn quietly<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn try_par_map_isolates_a_panicking_item() {
+        quietly(|| {
+            let items: Vec<usize> = (0..23).collect();
+            let out = try_par_map(&items, |&i| {
+                assert!(i != 13, "injected failure on {i}");
+                i * 2
+            });
+            assert_eq!(out.len(), 23);
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("injected failure on 13"), "{msg}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 2));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn try_par_chunks_reports_per_chunk() {
+        quietly(|| {
+            let items: Vec<usize> = (0..10).collect();
+            let out = try_par_chunks(&items, |c| {
+                assert!(!c.contains(&3), "chunk holds 3");
+                c.iter().map(|&i| i + 1).collect()
+            });
+            let ok: Vec<usize> = out
+                .iter()
+                .filter_map(|r| r.as_ref().ok())
+                .flatten()
+                .copied()
+                .collect();
+            let failed = out.iter().filter(|r| r.is_err()).count();
+            assert_eq!(failed, 1, "{out:?}");
+            // Every item outside the poisoned chunk survived.
+            assert!(ok.iter().all(|&v| (1..=10).contains(&v)));
+            assert!(try_par_chunks::<usize, usize, _>(&[], |_| Vec::new()).is_empty());
+        });
+    }
+
+    #[test]
+    fn try_join_keeps_the_surviving_side() {
+        quietly(|| {
+            let (a, b) = try_join(|| 1 + 1, || -> usize { panic!("right side down") });
+            assert_eq!(a, Ok(2));
+            assert!(b.unwrap_err().contains("right side down"));
+        });
+    }
+
+    #[test]
+    fn panicking_apis_still_panic_with_the_message() {
+        quietly(|| {
+            let err =
+                std::panic::catch_unwind(|| par_map(&[1, 2], |&i| -> usize { panic!("item {i}") }))
+                    .unwrap_err();
+            assert!(panic_message(&*err).contains("item"));
+        });
+    }
+
+    #[test]
+    fn panic_message_handles_payload_kinds() {
+        quietly(|| {
+            let p = std::panic::catch_unwind(|| panic!("plain")).unwrap_err();
+            assert_eq!(panic_message(&*p), "plain");
+            let p = std::panic::catch_unwind(|| panic!("{} {}", "fmt", 1)).unwrap_err();
+            assert_eq!(panic_message(&*p), "fmt 1");
+            let p = std::panic::catch_unwind(|| std::panic::panic_any(42_i32)).unwrap_err();
+            assert_eq!(panic_message(&*p), "non-string panic payload");
+        });
     }
 }

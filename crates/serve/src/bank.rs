@@ -18,6 +18,24 @@
 //! [`BANK_VERSION`] so a future schema change can migrate old banks
 //! explicitly instead of misreading them.
 //!
+//! # Self-healing
+//!
+//! A production bank must survive what a crash or a bad disk leaves
+//! behind, so [`Bank::open`] *recovers* instead of refusing:
+//!
+//! * every archive file on disk is validated (parse + version + run
+//!   decode); a torn, corrupt or newer-version file is **quarantined** —
+//!   renamed to `<name>.quarantine`, preserving the bytes for forensics —
+//!   and the bank warm-starts from the remaining archives;
+//! * a corrupt or missing `index.json` is rebuilt from the surviving
+//!   archive files (the index is a manifest, not the source of truth);
+//! * writes retry with bounded exponential backoff on I/O errors before
+//!   the error surfaces, and an append that finds its existing archive
+//!   corrupt quarantines it and starts the archive fresh.
+//!
+//! [`Bank::quarantined_files`] reports how many `.quarantine` files the
+//! directory holds — surfaced by the daemon's `{"op":"health"}` response.
+//!
 //! # Source selection
 //!
 //! [`Bank::select_source`] ranks every archived run of the requested
@@ -40,6 +58,12 @@ use std::path::{Path, PathBuf};
 
 /// Schema version stamped into every bank file.
 pub const BANK_VERSION: u64 = 1;
+
+/// Write attempts before an I/O error surfaces to the caller.
+pub const WRITE_ATTEMPTS: u32 = 3;
+
+/// Base backoff between write retries (doubles per retry).
+const WRITE_BACKOFF: std::time::Duration = std::time::Duration::from_millis(5);
 
 /// Minimum finite probe objective values needed to alignment-score
 /// candidates (the probe is split into a fit half and a held-out scoring
@@ -100,15 +124,33 @@ pub struct SourceChoice {
 pub struct Bank {
     dir: PathBuf,
     entries: Vec<BankEntry>,
+    /// Files quarantined while opening this bank (recovery events this
+    /// process witnessed; see [`Bank::quarantined_files`] for the
+    /// persistent on-disk count).
+    quarantined_on_open: usize,
 }
 
 fn io_err(path: &Path, what: &str, e: &std::io::Error) -> BankError {
     BankError::Io(format!("{what} {}: {e}", path.display()))
 }
 
-/// Writes `content` to `path` atomically: temp file in the same directory,
-/// flush, then rename over the destination.
-fn atomic_write(path: &Path, content: &str) -> Result<(), BankError> {
+/// One write attempt: temp file in the same directory, flush, then rename
+/// over the destination. The `bank_write` failpoint injects an I/O error
+/// here; `bank_torn` simulates a crash that bypassed the temp+rename
+/// protocol and left a truncated destination file (reported as success,
+/// like a real torn write would be).
+fn atomic_write_once(path: &Path, content: &str) -> Result<(), BankError> {
+    if crate::faults::countdown("bank_write") {
+        return Err(BankError::Io(format!(
+            "injected bank_write failure for {}",
+            path.display()
+        )));
+    }
+    if crate::faults::countdown("bank_torn") {
+        let half = &content.as_bytes()[..content.len() / 2];
+        fs::write(path, half).map_err(|e| io_err(path, "torn write", &e))?;
+        return Ok(());
+    }
     let tmp = path.with_extension("json.tmp");
     {
         let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", &e))?;
@@ -119,63 +161,228 @@ fn atomic_write(path: &Path, content: &str) -> Result<(), BankError> {
     fs::rename(&tmp, path).map_err(|e| io_err(path, "rename into", &e))
 }
 
+/// Atomic write with bounded retry: transient I/O errors back off
+/// exponentially ([`WRITE_BACKOFF`], doubling) for up to
+/// [`WRITE_ATTEMPTS`] attempts before the last error surfaces.
+fn atomic_write(path: &Path, content: &str) -> Result<(), BankError> {
+    let mut delay = WRITE_BACKOFF;
+    let mut attempt = 1;
+    loop {
+        match atomic_write_once(path, content) {
+            Ok(()) => return Ok(()),
+            Err(BankError::Io(_)) if attempt < WRITE_ATTEMPTS => {
+                std::thread::sleep(delay);
+                delay *= 2;
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Moves a damaged file aside to `<file name>.quarantine` (clobbering any
+/// previous quarantine of the same file) so recovery preserves the bytes
+/// instead of deleting evidence.
+fn quarantine(path: &Path) -> Result<PathBuf, BankError> {
+    let mut name = path
+        .file_name()
+        .ok_or_else(|| BankError::Io(format!("no file name in {}", path.display())))?
+        .to_os_string();
+    name.push(".quarantine");
+    let dest = path.with_file_name(name);
+    fs::rename(path, &dest).map_err(|e| io_err(path, "quarantine", &e))?;
+    Ok(dest)
+}
+
 fn archive_file_name(scenario: &str, tech: &str) -> String {
     format!("{scenario}__{tech}.json")
 }
 
+/// Reads and validates the index manifest.
+fn read_index(path: &Path) -> Result<Vec<BankEntry>, BankError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, "read", &e))?;
+    let doc =
+        Json::parse(&text).map_err(|e| BankError::Corrupt(format!("{}: {e}", path.display())))?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| BankError::Corrupt(format!("{}: missing 'version'", path.display())))?;
+    if version > BANK_VERSION {
+        return Err(BankError::Corrupt(format!(
+            "{}: bank version {version} is newer than supported {BANK_VERSION}",
+            path.display()
+        )));
+    }
+    let rows = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| BankError::Corrupt(format!("{}: missing 'entries'", path.display())))?;
+    let mut entries = Vec::with_capacity(rows.len());
+    for row in rows {
+        let field = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    BankError::Corrupt(format!("{}: entry missing '{key}'", path.display()))
+                })
+        };
+        entries.push(BankEntry {
+            scenario: field("scenario")?,
+            tech: field("tech")?,
+            file: field("file")?,
+            runs: row.get("runs").and_then(Json::as_u64).unwrap_or(0) as usize,
+        });
+    }
+    Ok(entries)
+}
+
+/// Parses an archive file and checks its schema version.
+fn read_archive_doc(path: &Path) -> Result<Json, BankError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, "read", &e))?;
+    let doc =
+        Json::parse(&text).map_err(|e| BankError::Corrupt(format!("{}: {e}", path.display())))?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| BankError::Corrupt(format!("{}: missing 'version'", path.display())))?;
+    if version > BANK_VERSION {
+        return Err(BankError::Corrupt(format!(
+            "{}: archive version {version} is newer than supported {BANK_VERSION}",
+            path.display()
+        )));
+    }
+    Ok(doc)
+}
+
+/// Fully validates one archive file (schema, fields, and that every run
+/// decodes) and distils it into a manifest entry.
+fn read_archive_entry(path: &Path, file: &str) -> Result<BankEntry, BankError> {
+    let doc = read_archive_doc(path)?;
+    let field = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| BankError::Corrupt(format!("{}: missing '{key}'", path.display())))
+    };
+    let scenario = field("scenario")?;
+    let tech = field("tech")?;
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| BankError::Corrupt(format!("{}: missing 'runs'", path.display())))?;
+    for run in runs {
+        history_from_json(run)
+            .map_err(|e| BankError::Corrupt(format!("{}: {e}", path.display())))?;
+    }
+    Ok(BankEntry {
+        scenario,
+        tech,
+        file: file.to_string(),
+        runs: runs.len(),
+    })
+}
+
 impl Bank {
-    /// Opens (creating if needed) a bank at `dir` and loads its manifest.
+    /// Opens (creating if needed) a bank at `dir`, validating every
+    /// archive file and **recovering** from damage instead of refusing:
+    /// corrupt/torn/newer-version archives and a corrupt index are
+    /// quarantined (renamed to `<name>.quarantine`) and the manifest is
+    /// rebuilt from the surviving archives.
     ///
     /// # Errors
     ///
-    /// [`BankError::Io`] when the directory or index cannot be
-    /// created/read; [`BankError::Corrupt`] when an index exists but has
-    /// the wrong schema or a newer [`BANK_VERSION`].
+    /// [`BankError::Io`] when the directory cannot be created or read, or
+    /// when quarantining/rewriting fails — i.e. only when the filesystem
+    /// itself refuses; damaged *content* never fails an open.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, BankError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create bank dir", &e))?;
-        let index = dir.join("index.json");
-        let entries = if index.exists() {
-            let text = fs::read_to_string(&index).map_err(|e| io_err(&index, "read", &e))?;
-            let doc = Json::parse(&text)
-                .map_err(|e| BankError::Corrupt(format!("{}: {e}", index.display())))?;
-            let version = doc.get("version").and_then(Json::as_u64).ok_or_else(|| {
-                BankError::Corrupt(format!("{}: missing 'version'", index.display()))
-            })?;
-            if version > BANK_VERSION {
-                return Err(BankError::Corrupt(format!(
-                    "{}: bank version {version} is newer than supported {BANK_VERSION}",
-                    index.display()
-                )));
+        let mut quarantined_on_open = 0;
+
+        // The index is a manifest, not the source of truth: read it for
+        // entry ordering, quarantine it if damaged.
+        let index_path = dir.join("index.json");
+        let index_entries: Vec<BankEntry> = if index_path.exists() {
+            match read_index(&index_path) {
+                Ok(entries) => entries,
+                Err(BankError::Io(e)) => return Err(BankError::Io(e)),
+                Err(BankError::Corrupt(_)) => {
+                    quarantine(&index_path)?;
+                    quarantined_on_open += 1;
+                    Vec::new()
+                }
             }
-            let rows = doc.get("entries").and_then(Json::as_arr).ok_or_else(|| {
-                BankError::Corrupt(format!("{}: missing 'entries'", index.display()))
-            })?;
-            let mut entries = Vec::with_capacity(rows.len());
-            for row in rows {
-                let field = |key: &str| {
-                    row.get(key)
-                        .and_then(Json::as_str)
-                        .map(str::to_string)
-                        .ok_or_else(|| {
-                            BankError::Corrupt(format!(
-                                "{}: entry missing '{key}'",
-                                index.display()
-                            ))
-                        })
-                };
-                entries.push(BankEntry {
-                    scenario: field("scenario")?,
-                    tech: field("tech")?,
-                    file: field("file")?,
-                    runs: row.get("runs").and_then(Json::as_u64).unwrap_or(0) as usize,
-                });
-            }
-            entries
         } else {
             Vec::new()
         };
-        Ok(Bank { dir, entries })
+
+        // Validate every archive file on disk — including ones the index
+        // never heard of (a crash between archive and index writes).
+        let mut files: Vec<String> = Vec::new();
+        let listing = fs::read_dir(&dir).map_err(|e| io_err(&dir, "read bank dir", &e))?;
+        for item in listing {
+            let item = item.map_err(|e| io_err(&dir, "read bank dir", &e))?;
+            let name = item.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".json") && name != "index.json" {
+                files.push(name);
+            }
+        }
+        // Index order first (stable across reopens), then newcomers sorted.
+        files.sort_by_key(|f| {
+            let known = index_entries.iter().position(|e| &e.file == f);
+            (known.unwrap_or(usize::MAX), f.clone())
+        });
+        let mut entries = Vec::with_capacity(files.len());
+        for file in files {
+            let path = dir.join(&file);
+            match read_archive_entry(&path, &file) {
+                Ok(entry) => entries.push(entry),
+                Err(BankError::Io(e)) => return Err(BankError::Io(e)),
+                Err(BankError::Corrupt(_)) => {
+                    quarantine(&path)?;
+                    quarantined_on_open += 1;
+                }
+            }
+        }
+
+        let bank = Bank {
+            dir,
+            entries,
+            quarantined_on_open,
+        };
+        // Persist the healed manifest whenever it disagrees with disk.
+        if bank.entries != index_entries || quarantined_on_open > 0 {
+            bank.write_index()?;
+        }
+        Ok(bank)
+    }
+
+    /// Number of files this open quarantined while recovering.
+    #[must_use]
+    pub fn quarantined_on_open(&self) -> usize {
+        self.quarantined_on_open
+    }
+
+    /// Number of `.quarantine` files currently in the bank directory —
+    /// the persistent record of every recovery, surfaced by the daemon's
+    /// health report.
+    #[must_use]
+    pub fn quarantined_files(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|listing| {
+                listing
+                    .flatten()
+                    .filter(|item| item.file_name().to_string_lossy().ends_with(".quarantine"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total archived runs across all entries.
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.entries.iter().map(|e| e.runs).sum()
     }
 
     /// The bank's root directory.
@@ -228,12 +435,15 @@ impl Bank {
     }
 
     /// Appends a completed run to the `scenario×tech` archive, creating the
-    /// file on first use, and updates the manifest. Both writes are atomic.
+    /// file on first use, and updates the manifest. Both writes are atomic
+    /// and retry with backoff on transient I/O errors; an existing archive
+    /// found corrupt (e.g. torn by a crash since open) is quarantined and
+    /// the archive restarts from this run rather than failing the append.
     ///
     /// # Errors
     ///
-    /// [`BankError`] when the existing archive cannot be read back or
-    /// either file cannot be written.
+    /// [`BankError::Io`] when either file cannot be written (after
+    /// retries) or the damaged archive cannot be quarantined.
     pub fn append(
         &mut self,
         scenario: &str,
@@ -243,7 +453,14 @@ impl Bank {
         let file = archive_file_name(scenario, tech);
         let path = self.dir.join(&file);
         let mut runs = if path.exists() {
-            self.read_archive(&path)?
+            match self.read_archive(&path) {
+                Ok(runs) => runs,
+                Err(BankError::Corrupt(_)) => {
+                    quarantine(&path)?;
+                    Vec::new()
+                }
+                Err(e) => return Err(e),
+            }
         } else {
             Vec::new()
         };
@@ -274,19 +491,7 @@ impl Bank {
     }
 
     fn read_archive(&self, path: &Path) -> Result<Vec<Json>, BankError> {
-        let text = fs::read_to_string(path).map_err(|e| io_err(path, "read", &e))?;
-        let doc = Json::parse(&text)
-            .map_err(|e| BankError::Corrupt(format!("{}: {e}", path.display())))?;
-        let version = doc
-            .get("version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| BankError::Corrupt(format!("{}: missing 'version'", path.display())))?;
-        if version > BANK_VERSION {
-            return Err(BankError::Corrupt(format!(
-                "{}: archive version {version} is newer than supported {BANK_VERSION}",
-                path.display()
-            )));
-        }
+        let doc = read_archive_doc(path)?;
         Ok(doc
             .get("runs")
             .and_then(Json::as_arr)
@@ -345,7 +550,13 @@ impl Bank {
         tech_order.sort_by_key(|t| usize::from(*t != target_tech));
         let mut runs: Vec<(String, RunHistory)> = Vec::new();
         for tech in tech_order {
-            for run in self.runs(scenario, tech).ok()?.into_iter() {
+            // An archive that went bad since open (torn by a concurrent
+            // crash) removes only its own candidates — never the whole
+            // selection; open() will quarantine it next time.
+            let Ok(archived) = self.runs(scenario, tech) else {
+                continue;
+            };
+            for run in archived {
                 if !run.is_empty() {
                     runs.push((tech.to_string(), run));
                 }
@@ -631,14 +842,90 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_index_is_reported_not_misread() {
+    fn corrupt_index_is_quarantined_and_rebuilt() {
         let dir = tmp_dir("corrupt");
-        fs::create_dir_all(&dir).unwrap();
+        let toy = Toy::new(0.5, "toy_180nm");
+        {
+            let mut bank = Bank::open(&dir).unwrap();
+            bank.append("toy", "180nm", &short_run(&toy, 3)).unwrap();
+        }
+        // Smash the index: open must quarantine it and rebuild from the
+        // archive file instead of refusing.
         fs::write(dir.join("index.json"), "{not json").unwrap();
-        assert!(matches!(Bank::open(&dir), Err(BankError::Corrupt(_))));
+        let bank = Bank::open(&dir).unwrap();
+        assert_eq!(bank.quarantined_on_open(), 1);
+        assert_eq!(bank.quarantined_files(), 1);
+        assert_eq!(bank.entries().len(), 1);
+        assert_eq!(bank.entries()[0].runs, 1);
+        assert!(dir.join("index.json.quarantine").exists());
+        // The rebuilt index is good: a fresh open heals nothing further.
+        let bank = Bank::open(&dir).unwrap();
+        assert_eq!(bank.quarantined_on_open(), 0);
+        // A newer-version index is likewise recovery, not refusal.
         fs::write(dir.join("index.json"), r#"{"version":99,"entries":[]}"#).unwrap();
-        let err = Bank::open(&dir).unwrap_err();
-        assert!(err.to_string().contains("version 99"), "{err}");
+        let bank = Bank::open(&dir).unwrap();
+        assert_eq!(bank.quarantined_on_open(), 1);
+        assert_eq!(bank.entries().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_archive_is_quarantined_and_the_rest_survive() {
+        let dir = tmp_dir("heal");
+        let toy = Toy::new(0.5, "toy_180nm");
+        {
+            let mut bank = Bank::open(&dir).unwrap();
+            bank.append("toy", "180nm", &spread_run(&toy, 12, 3))
+                .unwrap();
+            bank.append("toy", "28nm", &spread_run(&toy, 12, 4))
+                .unwrap();
+        }
+        // Tear one archive. Open quarantines it, keeps the other, and the
+        // bank still supplies a warm-start source.
+        fs::write(dir.join("toy__28nm.json"), "{\"version\":1,\"runs\":[tru").unwrap();
+        let bank = Bank::open(&dir).unwrap();
+        assert_eq!(bank.quarantined_on_open(), 1);
+        assert!(dir.join("toy__28nm.json.quarantine").exists());
+        assert_eq!(bank.entries().len(), 1);
+        assert_eq!(bank.entries()[0].tech, "180nm");
+        assert!(bank.has_candidates("toy"));
+        let probe = RunHistory::new("toy_40nm", "probe", 1);
+        let (_, choice) = bank
+            .select_source("toy", "40nm", toy.specs(), &probe)
+            .unwrap();
+        assert_eq!(choice.tech, "180nm");
+        // An archive the index never heard of is adopted on open.
+        fs::remove_file(dir.join("index.json")).unwrap();
+        let bank = Bank::open(&dir).unwrap();
+        assert_eq!(bank.entries().len(), 1);
+        assert_eq!(bank.total_runs(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_write_failures_are_retried_and_torn_writes_heal() {
+        let _guard = crate::faults::test_lock();
+        let dir = tmp_dir("faults");
+        let toy = Toy::new(0.5, "toy_180nm");
+        // Two injected failures: both retried away within one append.
+        crate::faults::arm("bank_write=2");
+        {
+            let mut bank = Bank::open(&dir).unwrap();
+            bank.append("toy", "180nm", &short_run(&toy, 3)).unwrap();
+            assert!(crate::faults::hits("bank_write") >= 3);
+        }
+        // A torn archive write: append reports success (as a real torn
+        // write would), and the next open quarantines + heals.
+        crate::faults::arm("bank_torn=1");
+        {
+            let mut bank = Bank::open(&dir).unwrap();
+            bank.append("toy", "28nm", &short_run(&toy, 5)).unwrap();
+        }
+        crate::faults::disarm_all();
+        let bank = Bank::open(&dir).unwrap();
+        assert_eq!(bank.quarantined_on_open(), 1);
+        assert_eq!(bank.entries().len(), 1);
+        assert_eq!(bank.entries()[0].tech, "180nm");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

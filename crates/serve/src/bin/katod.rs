@@ -35,7 +35,10 @@ OPTIONS:
 
 REQUEST:
     {\"id\":\"job-1\",\"scenario\":\"opamp2\",\"tech\":\"40nm\",\"corner\":\"tt\",
-     \"specs\":{\"gain_db\":55.0},\"seed\":11,\"budget\":40}
+     \"specs\":{\"gain_db\":55.0},\"seed\":11,\"budget\":40,\"deadline_ms\":60000}
+
+OPS:
+    {\"op\":\"health\"}   report bank/cache/served-job status (no simulations)
 ";
 
 struct Opts {
@@ -78,12 +81,39 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(opts)
 }
 
+/// Unlinks the socket file when the serve loop exits (normally or by
+/// error), so the next `katod --socket` at the same path starts clean.
+#[cfg(unix)]
+struct SocketGuard(std::path::PathBuf);
+
+#[cfg(unix)]
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
 #[cfg(unix)]
 fn serve_socket(daemon: &mut Daemon, path: &str) -> io::Result<()> {
+    use std::os::unix::fs::FileTypeExt;
     use std::os::unix::net::UnixListener;
-    // A stale socket file from a previous run would make bind fail.
-    let _ = std::fs::remove_file(path);
+    // A stale socket file from a crashed run would make bind fail — but
+    // only ever remove an actual socket; a regular file or directory at
+    // the path is someone else's data and stays an error.
+    match std::fs::symlink_metadata(path) {
+        Ok(meta) if meta.file_type().is_socket() => {
+            eprintln!("katod: removing stale socket {path}");
+            std::fs::remove_file(path)?;
+        }
+        Ok(_) => {
+            return Err(io::Error::other(format!(
+                "refusing to replace non-socket file at {path}"
+            )));
+        }
+        Err(_) => {}
+    }
     let listener = UnixListener::bind(path)?;
+    let _guard = SocketGuard(std::path::PathBuf::from(path));
     eprintln!("katod: listening on {path}");
     for stream in listener.incoming() {
         let stream = stream?;

@@ -73,6 +73,13 @@ impl ResultCache {
         self.entries.len()
     }
 
+    /// Total replay hits across every entry — simulator budget the cache
+    /// has saved, surfaced by the daemon's health report.
+    #[must_use]
+    pub fn total_hits(&self) -> usize {
+        self.entries.values().map(|e| e.hits).sum()
+    }
+
     /// `true` when nothing is cached.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -94,6 +101,7 @@ mod tests {
         assert!(cache.contains("k"));
         assert_eq!(cache.hit("k").unwrap().hits, 1);
         assert_eq!(cache.hit("k").unwrap().hits, 2);
+        assert_eq!(cache.total_hits(), 2);
         assert!(!cache.contains("other"));
     }
 }

@@ -17,8 +17,13 @@
 //! * [`protocol`] — newline-delimited JSON sizing requests/responses.
 //! * [`cache`] — in-memory dedupe of identical requests by cache key.
 //! * [`daemon`] — the request loop gluing it all together, including the
-//!   probe → align → resume warm-start flow and a concurrent batch path
-//!   over the [`kato_par`] pool.
+//!   probe → align → resume warm-start flow, a concurrent batch path
+//!   over the [`kato_par`] pool with per-job panic isolation, request
+//!   deadlines (`deadline_ms` → degraded best-so-far), and the
+//!   `{"op":"health"}` report.
+//! * [`faults`] — dependency-free deterministic failpoints
+//!   (`KATO_FAILPOINTS=bank_write=2,sim_panic=5`) used to test all of the
+//!   above under injected crashes, torn writes and I/O errors.
 //!
 //! # Request lifecycle
 //!
@@ -38,6 +43,7 @@ pub mod archive;
 pub mod bank;
 pub mod cache;
 pub mod daemon;
+pub mod faults;
 pub mod json;
 pub mod protocol;
 

@@ -23,7 +23,14 @@ use kato_circuits::{OverriddenProblem, ScenarioRegistry, SizingProblem};
 
 /// Top-level request keys the daemon understands.
 const ALLOWED_KEYS: &[&str] = &[
-    "id", "scenario", "tech", "corner", "specs", "seed", "budget",
+    "id",
+    "scenario",
+    "tech",
+    "corner",
+    "specs",
+    "seed",
+    "budget",
+    "deadline_ms",
 ];
 
 /// Default simulation budget when the request omits one.
@@ -51,6 +58,9 @@ pub struct SizingRequest {
     pub seed: u64,
     /// Total simulation budget.
     pub budget: usize,
+    /// Wall-clock deadline in milliseconds; when set, the run returns its
+    /// best-so-far (marked `degraded`) instead of overrunning.
+    pub deadline_ms: Option<u64>,
 }
 
 impl SizingRequest {
@@ -106,6 +116,14 @@ impl SizingRequest {
                 "'budget' must be in 2..={MAX_BUDGET}, got {budget}"
             ));
         }
+        let deadline_ms = doc
+            .get("deadline_ms")
+            .map(|v| {
+                v.as_u64()
+                    .filter(|&ms| ms > 0)
+                    .ok_or("'deadline_ms' must be a positive integer")
+            })
+            .transpose()?;
         let mut overrides = Vec::new();
         if let Some(specs) = doc.get("specs") {
             let entries = specs.as_obj().ok_or("'specs' must be an object")?;
@@ -124,13 +142,17 @@ impl SizingRequest {
             overrides,
             seed,
             budget,
+            deadline_ms,
         })
     }
 
     /// The request's cache/dedupe identity given its resolved tech node:
     /// everything the optimiser's output depends on, with overrides sorted
     /// by metric name so spelling order doesn't defeat dedupe. The `id` is
-    /// deliberately excluded.
+    /// deliberately excluded, and so is `deadline_ms` — a deadline shapes
+    /// *when* a run stops, not what the full run would compute, and a
+    /// degraded result is never stored (see the daemon), so a later
+    /// undeadlined request must map to the same key to reuse the full run.
     #[must_use]
     pub fn cache_key(&self, resolved_tech: &str) -> String {
         let mut specs: Vec<&(String, f64)> = self.overrides.iter().collect();
@@ -185,6 +207,10 @@ pub fn sims_to_feasible(history: &RunHistory) -> Option<usize> {
 }
 
 /// Builds the success-response document for a completed (or replayed) run.
+///
+/// `degraded` marks a run cut short by its [`kato::RunBudget`] (deadline
+/// hit before the simulation budget was spent): still `status: "ok"`, but
+/// the caller is told the best-so-far came from a truncated search.
 #[must_use]
 pub fn response_json(
     request: &SizingRequest,
@@ -192,6 +218,7 @@ pub fn response_json(
     problem: &dyn SizingProblem,
     history: &RunHistory,
     cache_hit: bool,
+    degraded: bool,
     warm: Option<&SourceChoice>,
 ) -> Json {
     let warm_json = match warm {
@@ -230,6 +257,7 @@ pub fn response_json(
         ("seed", Json::Num(request.seed as f64)),
         ("budget", Json::Num(request.budget as f64)),
         ("cache_hit", Json::Bool(cache_hit)),
+        ("degraded", Json::Bool(degraded)),
         ("warm_start", warm_json),
         ("n_evals", Json::Num(history.len() as f64)),
         ("feasible", Json::Bool(feasible)),
@@ -264,6 +292,7 @@ mod tests {
         assert_eq!(req.corner, "tt");
         assert_eq!(req.seed, DEFAULT_SEED);
         assert_eq!(req.budget, DEFAULT_BUDGET);
+        assert_eq!(req.deadline_ms, None);
         assert!(req.overrides.is_empty());
     }
 
@@ -271,7 +300,8 @@ mod tests {
     fn parse_reads_every_field() {
         let req = SizingRequest::parse(
             r#"{"id":"j1","scenario":"ldo","tech":"40nm","corner":"ss_125c",
-                "specs":{"psrr_db":45.0,"pm_deg":50.0},"seed":7,"budget":25}"#,
+                "specs":{"psrr_db":45.0,"pm_deg":50.0},"seed":7,"budget":25,
+                "deadline_ms":1500}"#,
         )
         .unwrap();
         assert_eq!(req.id, "j1");
@@ -279,6 +309,7 @@ mod tests {
         assert_eq!(req.corner, "ss_125c");
         assert_eq!(req.seed, 7);
         assert_eq!(req.budget, 25);
+        assert_eq!(req.deadline_ms, Some(1500));
         assert_eq!(
             req.overrides,
             vec![("psrr_db".to_string(), 45.0), ("pm_deg".to_string(), 50.0)]
@@ -294,6 +325,8 @@ mod tests {
             (r#"{"scenario":"ldo","budget":1}"#, "budget"),
             (r#"{"scenario":"ldo","seed":-3}"#, "seed"),
             (r#"{"scenario":"ldo","specs":{"pm_deg":"high"}}"#, "pm_deg"),
+            (r#"{"scenario":"ldo","deadline_ms":0}"#, "deadline_ms"),
+            (r#"{"scenario":"ldo","deadline_ms":-5}"#, "deadline_ms"),
             ("not json", "byte"),
         ] {
             let err = SizingRequest::parse(line).unwrap_err();
@@ -313,6 +346,11 @@ mod tests {
         .unwrap();
         assert_eq!(a.cache_key("180nm"), b.cache_key("180nm"));
         assert_ne!(a.cache_key("180nm"), a.cache_key("40nm"));
+        // A deadline doesn't change what the full run computes → same key.
+        let deadlined =
+            SizingRequest::parse(r#"{"id":"a","scenario":"ldo","deadline_ms":100,"specs":{"pm_deg":50.0,"psrr_db":45.0}}"#)
+                .unwrap();
+        assert_eq!(a.cache_key("180nm"), deadlined.cache_key("180nm"));
         let c = SizingRequest::parse(r#"{"scenario":"ldo","seed":12}"#).unwrap();
         assert_ne!(a.cache_key("180nm"), c.cache_key("180nm"));
     }
@@ -358,10 +396,11 @@ mod tests {
             &kato::Mode::Constrained,
             vec![0.5; problem.dim()],
         );
-        let doc = response_json(&req, &tech, &*problem, &h, false, None);
+        let doc = response_json(&req, &tech, &*problem, &h, false, true, None);
         assert_eq!(doc.get("id").unwrap().as_str(), Some("r1"));
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(doc.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("degraded").unwrap().as_bool(), Some(true));
         assert_eq!(doc.get("n_evals").unwrap().as_f64(), Some(1.0));
         assert!(doc.get("warm_start").unwrap().is_null());
         // Feasibility flag and best agree with the history.

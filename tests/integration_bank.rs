@@ -117,8 +117,14 @@ fn warm_start_from_the_bank_beats_cold_start_180_to_40nm() {
 
     // Stage 1: a completed 180 nm run goes into the bank.
     let src_problem = TwoStageOpAmp::new(TechNode::n180());
-    let (src_run, src_warm) =
-        run_with_bank(None, "opamp2", "180nm", &src_problem, settings.clone());
+    let (src_run, src_warm) = run_with_bank(
+        None,
+        "opamp2",
+        "180nm",
+        &src_problem,
+        settings.clone(),
+        None,
+    );
     assert!(src_warm.is_none());
     assert_eq!(src_run.len(), 40);
     let mut bank = Bank::open(&dir).unwrap();
@@ -126,9 +132,9 @@ fn warm_start_from_the_bank_beats_cold_start_180_to_40nm() {
 
     // Stage 2: the 40 nm request, cold vs through the bank.
     let target = TwoStageOpAmp::new(TechNode::n40());
-    let (cold, none) = run_with_bank(None, "opamp2", "40nm", &target, settings.clone());
+    let (cold, none) = run_with_bank(None, "opamp2", "40nm", &target, settings.clone(), None);
     assert!(none.is_none());
-    let (warm, choice) = run_with_bank(Some(&bank), "opamp2", "40nm", &target, settings);
+    let (warm, choice) = run_with_bank(Some(&bank), "opamp2", "40nm", &target, settings, None);
     let choice = choice.expect("bank must supply a warm-start source");
     assert_eq!(choice.label, "opamp2_180nm");
     assert_eq!(choice.tech, "180nm");
