@@ -1,8 +1,10 @@
 //! `perf_snapshot` — writes a committable `BENCH_*.json` perf snapshot.
 //!
 //! Re-runs the `proposal_parallel` criterion measurements programmatically
-//! (serial point-wise MACE proposal vs the batched+parallel path) and adds
-//! one end-to-end timing (a full seeded KATO run on `opamp2@180nm`), then
+//! (serial point-wise MACE proposal vs the batched+parallel path), measures
+//! the surrogate refit hot path (full `Gp::refit` vs incremental
+//! `Gp::append` when an archive of 64 grows by a batch of 8), and adds one
+//! end-to-end timing (a full seeded KATO run on `opamp2@180nm`), then
 //! writes the medians as JSON so the perf trajectory lives in the repo
 //! instead of in scroll-back:
 //!
@@ -19,7 +21,7 @@ use kato::mace::{MaceProposer, MaceVariant};
 use kato::{metric_columns, BoSettings, Kato, MetricModels, Mode, ModelConfig, RunHistory};
 use kato_bench::json::Json;
 use kato_circuits::{random_design, SizingProblem, TechNode, TwoStageOpAmp};
-use kato_gp::{GpConfig, KatConfig};
+use kato_gp::{Gp, GpConfig, KatConfig, KernelSpec};
 use kato_nsga::{Nsga2, Nsga2Config};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,6 +120,51 @@ fn run(label: &str, out: Option<&str>, samples: usize) -> Result<(), String> {
         black_box(proposer.pareto_front(&models, problem.dim(), incumbent, &settings, 0, &[]));
     });
 
+    // Surrogate refit at archive size 64 growing by one batch of 8: the
+    // pre-redesign path (full re-standardise + O(n³) refactorise +
+    // retrain) vs the incremental path (frozen scalers, rank-k Cholesky
+    // extension, warm-start likelihood check). This is the per-metric,
+    // per-iteration cost of the BO loop.
+    let archive_n = 64usize;
+    let batch_k = 8usize;
+    let (ref_xs, ref_ys) = {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<Vec<f64>> = (0..archive_n + batch_k)
+            .map(|_| random_design(problem.dim(), &mut rng))
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| problem.evaluate(x).get(0)).collect();
+        (xs, ys)
+    };
+    let refit_cfg = GpConfig {
+        train_iters: 8, // BoSettings::quick's refit_iters profile
+        ..GpConfig::fast()
+    };
+    let fitted = Gp::fit(
+        KernelSpec::neuk(problem.dim()),
+        &ref_xs[..archive_n],
+        &ref_ys[..archive_n],
+        &refit_cfg,
+    )
+    .map_err(|e| format!("refit-bench GP fit failed: {e}"))?;
+    eprintln!("[timing refit_full n={archive_n}+{batch_k} x{samples}]");
+    let full_refit_s = time_median(samples, || {
+        let mut gp = fitted.clone();
+        gp.refit(black_box(&ref_xs), black_box(&ref_ys), &refit_cfg)
+            .unwrap();
+        black_box(gp);
+    });
+    eprintln!("[timing refit_incremental n={archive_n}+{batch_k} x{samples}]");
+    let incr_refit_s = time_median(samples, || {
+        let mut gp = fitted.clone();
+        gp.append(
+            black_box(&ref_xs[archive_n..]),
+            black_box(&ref_ys[archive_n..]),
+            &refit_cfg,
+        )
+        .unwrap();
+        black_box(gp);
+    });
+
     // End to end: one full seeded KATO run, quick profile. Reported per
     // simulation so budget changes don't silently rescale the trajectory.
     let budget = 40usize;
@@ -137,6 +184,16 @@ fn run(label: &str, out: Option<&str>, samples: usize) -> Result<(), String> {
                 ("serial_pointwise_ms", Json::Num(serial_s * 1e3)),
                 ("batched_parallel_ms", Json::Num(batched_s * 1e3)),
                 ("speedup", Json::Num(serial_s / batched_s)),
+            ]),
+        ),
+        (
+            "refit",
+            Json::obj(vec![
+                ("archive_n", Json::Num(archive_n as f64)),
+                ("batch_k", Json::Num(batch_k as f64)),
+                ("full_refit_ms", Json::Num(full_refit_s * 1e3)),
+                ("incremental_append_ms", Json::Num(incr_refit_s * 1e3)),
+                ("speedup", Json::Num(full_refit_s / incr_refit_s)),
             ]),
         ),
         (

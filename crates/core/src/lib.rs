@@ -46,8 +46,11 @@ mod settings;
 pub mod stl;
 
 pub use budget::RunBudget;
+// The incremental-fit surface the per-iteration model updates go through;
+// re-exported so optimiser-level callers need only this crate root.
 pub use corners::{corner_audit, CornerEval, WorstCaseProblem};
 pub use history::{EvalRecord, RunHistory};
+pub use kato_gp::{update_incremental, IncrementalFit};
 pub use kato_opt::{Kato, SourceData};
 pub use mace::{MaceProposer, MaceVariant};
 pub use model::{fit_source_gps, fom_specs, metric_columns, MetricModels, Model, ModelConfig};

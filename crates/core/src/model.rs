@@ -1,6 +1,6 @@
 use kato_circuits::{Goal, Metrics, Spec, SpecKind};
 use kato_forest::{ForestConfig, RandomForest};
-use kato_gp::{Gp, GpConfig, GpError, KatConfig, KatGp, KernelSpec};
+use kato_gp::{update_incremental, Gp, GpConfig, GpError, KatConfig, KatGp, KernelSpec};
 
 /// Configuration bundle for (re)fitting the per-output surrogates.
 #[derive(Debug, Clone)]
@@ -63,7 +63,14 @@ impl Model {
         }
     }
 
-    /// Refits on an updated dataset (warm-started where supported).
+    /// Updates the surrogate to an updated dataset. GP-family surrogates go
+    /// through one [`kato_gp::IncrementalFit`] path
+    /// ([`update_incremental`]): when the dataset is the stored training
+    /// set plus new rows, the held Cholesky factor is extended by a rank-k
+    /// update and hyperparameter optimisation is warm-started from (for a
+    /// GP, possibly skipped at) the previous optimum; anything else falls
+    /// back to a full refit. Forests have no incremental form and always
+    /// refit.
     ///
     /// # Errors
     ///
@@ -75,8 +82,8 @@ impl Model {
         config: &ModelConfig,
     ) -> Result<(), GpError> {
         match self {
-            Model::Gp(gp) => gp.refit(xs, ys, &config.gp),
-            Model::Kat(kat) => kat.refit(xs, ys, &config.kat),
+            Model::Gp(gp) => update_incremental(gp.as_mut(), xs, ys, &config.gp),
+            Model::Kat(kat) => update_incremental(kat.as_mut(), xs, ys, &config.kat),
             Model::Forest(f) => {
                 **f = RandomForest::fit(xs, ys, &config.forest);
                 Ok(())
@@ -207,7 +214,12 @@ impl MetricModels {
         })
     }
 
-    /// Refits every surrogate on the updated dataset.
+    /// Updates every surrogate to the grown dataset — the per-BO-iteration
+    /// path. Each column takes [`Model::update`]'s incremental route
+    /// (rank-k factor extension + warm-started hyperparameters) whenever
+    /// the archive only gained rows, which is the steady state of the BO
+    /// loop; columns whose history was retro-imputed fall back to a full
+    /// refit automatically.
     ///
     /// # Errors
     ///
@@ -483,6 +495,30 @@ mod tests {
         models.update(&xs2, &cols2, &cfg).unwrap();
         let (m, _) = models.objective_posterior(&[0.5, 0.5]);
         assert!(m.is_finite());
+    }
+
+    #[test]
+    fn update_takes_append_path_on_grown_archive() {
+        // Same prefix + new rows — the steady state of the BO loop. The
+        // models must end up conditioned on all rows through the rank-k
+        // append path (and the posterior must track the new region).
+        let (xs, cols) = toy_data(12);
+        let cfg = quick_cfg();
+        let mut models = MetricModels::fit_gp(2, &xs, &cols, &toy_specs(), &cfg).unwrap();
+        let mut xs2 = xs.clone();
+        let mut cols2 = cols.clone();
+        for i in 0..6 {
+            let t = 1.0 + i as f64 * 0.05;
+            xs2.push(vec![t, (t * 3.7) % 1.0]);
+            let x = xs2.last().unwrap();
+            cols2[0].push(x[0] + x[1]);
+            cols2[1].push(x[0]);
+            cols2[2].push(x[1]);
+        }
+        models.update(&xs2, &cols2, &cfg).unwrap();
+        let q = [1.2, (1.2 * 3.7) % 1.0];
+        let (m, _) = models.models()[1].predict(&q);
+        assert!((m - 1.2).abs() < 0.3, "column-1 tracks appended rows: {m}");
     }
 
     #[test]

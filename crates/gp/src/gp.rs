@@ -20,6 +20,13 @@ pub struct GpConfig {
     pub seed: u64,
     /// Gradient-norm clip.
     pub grad_clip: f64,
+    /// Warm-start tolerance for [`Gp::append`] (per-point log-likelihood
+    /// units): if the held hyperparameters still explain the grown dataset
+    /// to within `warm_tol` of the per-point likelihood achieved at the
+    /// last training run, `append` skips hyperparameter re-optimisation
+    /// entirely and only extends the factor. Set to `f64::NEG_INFINITY` to
+    /// force retraining on every append.
+    pub warm_tol: f64,
 }
 
 impl Default for GpConfig {
@@ -30,6 +37,7 @@ impl Default for GpConfig {
             fit_subsample: 150,
             seed: 0,
             grad_clip: 50.0,
+            warm_tol: 0.25,
         }
     }
 }
@@ -67,6 +75,10 @@ pub struct Gp {
     chol: Cholesky,
     alpha: Vec<f64>,
     log_lik: f64,
+    /// Per-point training log-likelihood achieved at the last actual
+    /// hyperparameter optimisation — the warm-start reference for
+    /// [`Gp::append`].
+    ll_per_point: f64,
 }
 
 impl Gp {
@@ -108,6 +120,7 @@ impl Gp {
             chol: Cholesky::new(&Matrix::identity(1))?,
             alpha: Vec::new(),
             log_lik: f64::NEG_INFINITY,
+            ll_per_point: f64::NEG_INFINITY,
         };
         gp.update_data(x, y);
         gp.train(config)?;
@@ -131,6 +144,104 @@ impl Gp {
         self.x_scaler = Scaler::fit(x);
         self.y_scaler = Scaler::fit_scalar(y);
         self.update_data(x, y);
+        self.train(config)?;
+        self.condition()
+    }
+
+    /// Appends a batch of new points to the training set *incrementally*:
+    /// the held Cholesky factor is extended by a rank-`k` update
+    /// (`O(k·n²)`) instead of being rebuilt (`O(n³)`), and hyperparameter
+    /// optimisation is skipped entirely when the held optimum still
+    /// explains the grown dataset — the warm-started per-point
+    /// log-likelihood is within [`GpConfig::warm_tol`] of the value
+    /// achieved at the last training run.
+    ///
+    /// The input/output scalers are **frozen** (new points are standardised
+    /// with the statistics of the original fit); that is what keeps the
+    /// existing Gram prefix — and therefore the held factor — valid. Use
+    /// [`Gp::refit`] to re-standardise when the data distribution has
+    /// drifted.
+    ///
+    /// Falls back internally to a full refactorisation (with noise
+    /// escalation) when the rank-`k` extension reports that the grown Gram
+    /// matrix is no longer positive definite at the held jitter, and to a
+    /// warm-started hyperparameter re-optimisation when the likelihood
+    /// check fails — `append` never leaves the model unconditioned.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::BadTrainingData`] for empty/ragged input.
+    /// * [`GpError::GramNotPd`] if even the fallback refactorisation fails.
+    pub fn append(
+        &mut self,
+        x_new: &[Vec<f64>],
+        y_new: &[f64],
+        config: &GpConfig,
+    ) -> Result<(), GpError> {
+        if x_new.len() != y_new.len() {
+            return Err(GpError::BadTrainingData {
+                what: "x/y length mismatch",
+            });
+        }
+        let dim = self.kernel.input_dim();
+        if x_new.iter().any(|r| r.len() != dim) {
+            return Err(GpError::BadTrainingData {
+                what: "row width != kernel input dim",
+            });
+        }
+        let n = self.xs.len();
+        let k = x_new.len();
+        // Frozen scalers: standardise the batch with the held statistics.
+        let xs_new: Vec<Vec<f64>> = x_new.iter().map(|r| self.x_scaler.transform(r)).collect();
+        let ys_new: Vec<f64> = y_new
+            .iter()
+            .map(|&v| self.y_scaler.transform_scalar(v, 0))
+            .collect();
+
+        // Rank-k factor extension. Blocks are built with the same kernel
+        // evaluation orientation as `gram` (first argument = earlier point)
+        // so the extended factor is bitwise what a from-scratch
+        // factorisation at the held jitter would produce.
+        let noise = self.noise_variance().max(1e-10) + 1e-9;
+        let cross = Matrix::from_fn(k, n, |p, j| {
+            self.kernel.eval(&self.params, &self.xs[j], &xs_new[p])
+        });
+        let mut corner = Matrix::from_fn(k, k, |p, q| {
+            if p <= q {
+                self.kernel.eval(&self.params, &xs_new[p], &xs_new[q])
+            } else {
+                self.kernel.eval(&self.params, &xs_new[q], &xs_new[p])
+            }
+        });
+        corner.add_diagonal(noise);
+
+        let extended = self.chol.extend(&cross, &corner).is_ok();
+        self.xs.extend(xs_new);
+        self.ys.extend(ys_new);
+        if extended {
+            self.alpha = self.chol.solve(&self.ys);
+        } else {
+            // The grown Gram lost positive definiteness at the held jitter:
+            // full refactorisation with noise escalation.
+            self.condition()?;
+        }
+
+        // Warm-start check: does the held optimum still explain the grown
+        // dataset? Exact marginal likelihood — the factor is already there.
+        let m = self.ys.len() as f64;
+        let warm_ll = -0.5 * kato_linalg::dot(&self.ys, &self.alpha)
+            - 0.5 * self.chol.log_det()
+            - 0.5 * m * (2.0 * std::f64::consts::PI).ln();
+        let warm_pp = warm_ll / m;
+        if warm_pp.is_finite()
+            && self.ll_per_point.is_finite()
+            && warm_pp + config.warm_tol >= self.ll_per_point
+        {
+            self.log_lik = warm_ll;
+            return Ok(());
+        }
+        // Likelihood degraded beyond tolerance: re-optimise, warm-started
+        // from the held parameters, then recondition at the new ones.
         self.train(config)?;
         self.condition()
     }
@@ -178,6 +289,25 @@ impl Gp {
     #[must_use]
     pub fn noise_variance(&self) -> f64 {
         (2.0 * self.log_noise).exp()
+    }
+
+    /// `true` when `(x, y)` standardises (under the *held*, frozen scalers)
+    /// to exactly the stored training set — the precondition for treating a
+    /// longer dataset as "stored data plus new rows" in
+    /// [`crate::update_incremental`]. Comparison is bitwise, so any
+    /// retro-imputation of earlier rows (including NaN, which never
+    /// compares equal) forces the full-refit path.
+    pub(crate) fn matches_prefix_raw(&self, x: &[Vec<f64>], y: &[f64]) -> bool {
+        if x.len() != self.xs.len() || y.len() != self.ys.len() {
+            return false;
+        }
+        let dim = self.kernel.input_dim();
+        x.iter()
+            .zip(&self.xs)
+            .all(|(xi, sxi)| xi.len() == dim && self.x_scaler.transform(xi) == *sxi)
+            && y.iter()
+                .zip(&self.ys)
+                .all(|(&yi, &syi)| self.y_scaler.transform_scalar(yi, 0) == syi)
     }
 
     pub(crate) fn xs_std(&self) -> &[Vec<f64>] {
@@ -290,6 +420,7 @@ impl Gp {
             self.log_lik = best.0;
             self.params = best.1;
             self.log_noise = best.2;
+            self.ll_per_point = best.0 / n as f64;
         }
         Ok(())
     }
@@ -569,6 +700,85 @@ mod tests {
                 proptest::prop_assert!((v - bv).abs() <= 1e-10 * (1.0 + v.abs()));
             }
         }
+    }
+
+    #[test]
+    fn append_skips_retraining_when_warm_likelihood_holds() {
+        let (xs, ys) = sine_data(24);
+        let cfg = GpConfig::fast();
+        let mut gp = Gp::fit(KernelSpec::ard_rbf(1), &xs[..20], &ys[..20], &cfg).unwrap();
+        let params_before = gp.kernel_params().to_vec();
+        // Four more points from the same smooth function: the held optimum
+        // explains them, so a generous tolerance must take the skip path
+        // and leave the hyperparameters untouched.
+        gp.append(
+            &xs[20..],
+            &ys[20..],
+            &GpConfig {
+                warm_tol: 5.0,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(gp.len(), 24);
+        assert_eq!(gp.kernel_params(), &params_before[..]);
+        // Still conditioned on everything: new points are interpolated.
+        let (m, _) = gp.predict(&xs[22]);
+        assert!((m - ys[22]).abs() < 0.2, "{m} vs {}", ys[22]);
+    }
+
+    #[test]
+    fn append_matches_refit_posterior_closely() {
+        let (xs, ys) = sine_data(22);
+        let cfg = GpConfig::fast();
+        let mut warm = Gp::fit(KernelSpec::ard_rbf(1), &xs[..16], &ys[..16], &cfg).unwrap();
+        warm.append(&xs[16..], &ys[16..], &cfg).unwrap();
+        let cold = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &cfg).unwrap();
+        for i in 0..40 {
+            let q = [i as f64 / 39.0];
+            let (mw, _) = warm.predict(&q);
+            let (mc, _) = cold.predict(&q);
+            assert!((mw - mc).abs() < 0.25, "at {q:?}: warm {mw} vs cold {mc}");
+        }
+    }
+
+    #[test]
+    fn warm_started_retraining_is_no_worse_than_cold() {
+        // The satellite guarantee: forcing the warm-started re-optimisation
+        // (warm_tol = −∞) must never land at a worse per-point training
+        // log-likelihood than the cold schedule fitting from scratch.
+        // Comparison is in raw-y units (warm keeps the prefix scalers, cold
+        // re-fits them): ll_raw_pp = ll_std_pp − ln(y_scale).
+        let (xs, ys) = sine_data(26);
+        let cfg = GpConfig::fast();
+        let mut warm = Gp::fit(KernelSpec::ard_rbf(1), &xs[..18], &ys[..18], &cfg).unwrap();
+        warm.append(
+            &xs[18..],
+            &ys[18..],
+            &GpConfig {
+                warm_tol: f64::NEG_INFINITY,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        let cold = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &cfg).unwrap();
+        let raw_pp = |gp: &Gp| gp.ll_per_point - gp.y_scaler.scale(0).ln();
+        assert!(
+            raw_pp(&warm) >= raw_pp(&cold) - 1e-9,
+            "warm {} vs cold {}",
+            raw_pp(&warm),
+            raw_pp(&cold)
+        );
+    }
+
+    #[test]
+    fn append_rejects_ragged_rows() {
+        let (xs, ys) = sine_data(10);
+        let mut gp = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &GpConfig::fast()).unwrap();
+        let r = gp.append(&[vec![0.1, 0.2]], &[1.0], &GpConfig::fast());
+        assert!(matches!(r, Err(GpError::BadTrainingData { .. })));
+        let r = gp.append(&[vec![0.1]], &[], &GpConfig::fast());
+        assert!(matches!(r, Err(GpError::BadTrainingData { .. })));
     }
 
     #[test]

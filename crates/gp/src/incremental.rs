@@ -1,0 +1,235 @@
+//! Unified incremental-fit surface over the surrogate models.
+//!
+//! [`Gp`] and [`KatGp`] historically exposed drifting `refit` signatures
+//! and no shared way to say "the archive grew by a batch — update
+//! cheaply". [`IncrementalFit`] is the single documented contract both now
+//! implement, and [`update_incremental`] is the one entry point the BO
+//! loop calls per iteration: it appends through the held factorisation
+//! when the new dataset is provably "stored data plus new rows", and falls
+//! back to a full refit otherwise.
+
+use crate::{Gp, GpConfig, GpError, KatConfig, KatGp};
+
+/// Surrogates whose training set can grow in place.
+///
+/// # Contract
+///
+/// Implementors hold their training data and a fitted state. For a grown
+/// dataset `(x, y)` with `x.len() >= training_len()`:
+///
+/// * [`matches_prefix`](IncrementalFit::matches_prefix) must return `true`
+///   only if the first `training_len()` rows of `(x, y)` are *exactly*
+///   (bitwise) the stored training set under the model's held
+///   standardisation — the precondition for `append`.
+/// * [`append`](IncrementalFit::append) ingests only the new rows,
+///   reusing the held factorisation/alignment and *warm-starting*
+///   hyperparameter optimisation from the previous optimum. The config's
+///   `warm_tol` gates how much of the cold schedule survives: a [`Gp`]
+///   whose held optimum still explains the grown data skips
+///   re-optimisation entirely (conditioning alone absorbs the rows),
+///   while a [`KatGp`] always trains at least one warm-started pass —
+///   its posterior sees target data only through the alignment — and
+///   escalates to the full restart schedule when the held optimum went
+///   stale. Scalers are frozen. On `Err` the model may hold the grown
+///   data but must remain usable; callers escalate to `refit_full`.
+/// * [`refit_full`](IncrementalFit::refit_full) is the escape hatch:
+///   re-standardise, re-optimise and re-condition on the complete dataset.
+///
+/// Both paths leave the model conditioned on every supplied point;
+/// `append` merely does so in `O(k·n²)` instead of `O(n³)` work.
+pub trait IncrementalFit {
+    /// Training configuration type consumed by both update paths.
+    type Config;
+
+    /// Number of training points the model currently holds.
+    fn training_len(&self) -> usize;
+
+    /// Whether `(x, y)` is bitwise-identical to the stored training set
+    /// (see the trait-level contract).
+    fn matches_prefix(&self, x: &[Vec<f64>], y: &[f64]) -> bool;
+
+    /// Ingests new rows through the held factorisation, warm-starting
+    /// hyperparameter optimisation from the previous optimum.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; callers should fall back to
+    /// [`refit_full`](IncrementalFit::refit_full).
+    fn append(
+        &mut self,
+        x_new: &[Vec<f64>],
+        y_new: &[f64],
+        config: &Self::Config,
+    ) -> Result<(), GpError>;
+
+    /// Full refit on the complete dataset (re-standardising scalers).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific factorisation/training failures.
+    fn refit_full(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        config: &Self::Config,
+    ) -> Result<(), GpError>;
+}
+
+impl IncrementalFit for Gp {
+    type Config = GpConfig;
+
+    fn training_len(&self) -> usize {
+        self.len()
+    }
+
+    fn matches_prefix(&self, x: &[Vec<f64>], y: &[f64]) -> bool {
+        self.matches_prefix_raw(x, y)
+    }
+
+    fn append(
+        &mut self,
+        x_new: &[Vec<f64>],
+        y_new: &[f64],
+        config: &GpConfig,
+    ) -> Result<(), GpError> {
+        Gp::append(self, x_new, y_new, config)
+    }
+
+    fn refit_full(&mut self, x: &[Vec<f64>], y: &[f64], config: &GpConfig) -> Result<(), GpError> {
+        self.refit(x, y, config)
+    }
+}
+
+impl IncrementalFit for KatGp {
+    type Config = KatConfig;
+
+    fn training_len(&self) -> usize {
+        self.target_len()
+    }
+
+    fn matches_prefix(&self, x: &[Vec<f64>], y: &[f64]) -> bool {
+        self.matches_prefix_raw(x, y)
+    }
+
+    fn append(
+        &mut self,
+        x_new: &[Vec<f64>],
+        y_new: &[f64],
+        config: &KatConfig,
+    ) -> Result<(), GpError> {
+        KatGp::append(self, x_new, y_new, config)
+    }
+
+    fn refit_full(&mut self, x: &[Vec<f64>], y: &[f64], config: &KatConfig) -> Result<(), GpError> {
+        self.refit(x, y, config)
+    }
+}
+
+/// Updates `model` to the grown dataset `(x, y)` — the per-BO-iteration
+/// entry point.
+///
+/// Takes the incremental path ([`IncrementalFit::append`] on just the new
+/// rows) when the dataset is provably "stored data plus new rows", i.e.
+/// it is at least as long as the stored set and the stored prefix matches
+/// bitwise. Anything else — shrunk/reordered data, retro-imputed rows
+/// (NaN never matches), or an `append` that reports failure — falls back
+/// to [`IncrementalFit::refit_full`] on the complete dataset, so the
+/// result is always a model conditioned on exactly `(x, y)`.
+///
+/// # Errors
+///
+/// Propagates the fallback's error when even the full refit fails.
+pub fn update_incremental<M: IncrementalFit>(
+    model: &mut M,
+    x: &[Vec<f64>],
+    y: &[f64],
+    config: &M::Config,
+) -> Result<(), GpError> {
+    let n = model.training_len();
+    if x.len() >= n && y.len() >= n && model.matches_prefix(&x[..n], &y[..n]) {
+        if x.len() == n && y.len() == n {
+            // Identical dataset: the model is already conditioned on it.
+            return Ok(());
+        }
+        if model.append(&x[n..], &y[n..], config).is_ok() {
+            return Ok(());
+        }
+    }
+    model.refit_full(x, y, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelSpec;
+
+    fn sine_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).sin() + 0.3 * x[0]).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn update_appends_on_grown_prefix_and_refits_on_mismatch() {
+        let (xs, ys) = sine_data(20);
+        let cfg = GpConfig::fast();
+        let mut gp = Gp::fit(KernelSpec::ard_rbf(1), &xs[..14], &ys[..14], &cfg).unwrap();
+        assert!(gp.matches_prefix(&xs[..14], &ys[..14]));
+        assert!(!gp.matches_prefix(&xs[..13], &ys[..13]));
+
+        update_incremental(&mut gp, &xs, &ys, &cfg).unwrap();
+        assert_eq!(gp.training_len(), 20);
+        let (m, _) = gp.predict(&xs[17]);
+        assert!((m - ys[17]).abs() < 0.2, "{m} vs {}", ys[17]);
+
+        // Same dataset again: a no-op, still conditioned on 20 points.
+        update_incremental(&mut gp, &xs, &ys, &cfg).unwrap();
+        assert_eq!(gp.training_len(), 20);
+
+        // Retro-edited prefix → full refit path (length unchanged but data
+        // differs, so the model must re-standardise and retrain).
+        let mut ys_edit = ys.clone();
+        ys_edit[0] += 1.0;
+        update_incremental(&mut gp, &xs, &ys_edit, &cfg).unwrap();
+        assert_eq!(gp.training_len(), 20);
+        let (m, _) = gp.predict(&xs[0]);
+        assert!(
+            (m - ys_edit[0]).abs() < 0.4,
+            "refit tracked edited row: {m}"
+        );
+    }
+
+    #[test]
+    fn nan_in_prefix_forces_refit_path() {
+        let (xs, mut ys) = sine_data(12);
+        let cfg = GpConfig::fast();
+        ys[3] = f64::NAN;
+        // A NaN row never matches bitwise, even against itself.
+        let clean: Vec<f64> = ys
+            .iter()
+            .map(|v| if v.is_finite() { *v } else { 0.0 })
+            .collect();
+        let gp = Gp::fit(KernelSpec::ard_rbf(1), &xs, &clean, &cfg).unwrap();
+        assert!(!gp.matches_prefix(&xs, &ys));
+    }
+
+    #[test]
+    fn trait_objects_share_one_call_shape() {
+        // The whole point of the redesign: one generic update path for both
+        // surrogate families.
+        fn grow<M: IncrementalFit>(m: &mut M, x: &[Vec<f64>], y: &[f64], cfg: &M::Config) -> usize {
+            update_incremental(m, x, y, cfg).unwrap();
+            m.training_len()
+        }
+        let (xs, ys) = sine_data(16);
+        let gp_cfg = GpConfig::fast();
+        let mut gp = Gp::fit(KernelSpec::ard_rbf(1), &xs[..10], &ys[..10], &gp_cfg).unwrap();
+        assert_eq!(grow(&mut gp, &xs, &ys, &gp_cfg), 16);
+
+        let source = Gp::fit(KernelSpec::ard_rbf(1), &xs, &ys, &gp_cfg).unwrap();
+        let kat_cfg = KatConfig::fast();
+        let y_t: Vec<f64> = xs.iter().map(|x| 2.0 * (5.0 * x[0]).sin() + 1.0).collect();
+        let mut kat = KatGp::fit(&source, &xs[..10], &y_t[..10], &kat_cfg).unwrap();
+        assert_eq!(grow(&mut kat, &xs, &y_t, &kat_cfg), 16);
+    }
+}

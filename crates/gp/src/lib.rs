@@ -20,6 +20,13 @@
 //!   decoder (source output → target output), with Delta-method moment
 //!   propagation. See [`KatGp`].
 //!
+//! Both surrogate families implement [`IncrementalFit`]: per BO iteration
+//! the archive only grows by a batch, so [`update_incremental`] appends
+//! through the held Cholesky factor (rank-k
+//! [`kato_linalg::CholeskyFactor::extend`]) and warm-starts hyperparameter
+//! optimisation from the previous optimum instead of rebuilding from
+//! scratch — with a full refit as the automatic fallback.
+//!
 //! # Example — fit and predict
 //!
 //! ```
@@ -38,6 +45,7 @@
 
 mod error;
 mod gp;
+mod incremental;
 mod katgp;
 mod kernels;
 mod mlp;
@@ -45,6 +53,7 @@ mod scaler;
 
 pub use error::GpError;
 pub use gp::{Gp, GpConfig};
+pub use incremental::{update_incremental, IncrementalFit};
 pub use katgp::{KatConfig, KatGp};
 pub use kernels::{KernelSpec, NeukSpec, PreparedKernel, PrimitiveKernel};
 pub use mlp::MlpSpec;

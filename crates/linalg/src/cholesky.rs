@@ -1,33 +1,106 @@
-use crate::{LinalgError, Matrix};
+use crate::{kernels, LinalgError, Matrix};
 
-/// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite matrix,
-/// with automatic diagonal jitter for numerically borderline Gram matrices.
+/// Updatable Cholesky factorisation `A = L Lᵀ` of a symmetric
+/// positive-definite matrix, with automatic diagonal jitter for numerically
+/// borderline Gram matrices.
 ///
 /// Gaussian-process Gram matrices frequently sit on the edge of positive
-/// definiteness (duplicated inputs, tiny noise). [`Cholesky::new`] therefore
-/// retries with exponentially growing jitter (starting at `1e-10` times the
-/// mean diagonal) before giving up.
+/// definiteness (duplicated inputs, tiny noise). [`CholeskyFactor::new`]
+/// therefore retries with exponentially growing jitter (starting at `1e-10`
+/// times the mean diagonal) before giving up.
+///
+/// Beyond the one-shot construction the factor is *persistent and
+/// updatable* — the shape the KATO BO loop exploits, where the archive only
+/// ever grows by a batch per iteration:
+///
+/// * [`CholeskyFactor::extend`] appends `k` rows/columns in `O(k·n²)`
+///   without refactorising the `n×n` prefix,
+/// * [`CholeskyFactor::downdate`] removes a rank-1 term with a
+///   positive-definiteness guard,
+/// * [`CholeskyFactor::shrink`] truncates to a leading principal block
+///   exactly.
+///
+/// All three leave the factor untouched when they fail, so callers can fall
+/// back to a full refactorisation on [`LinalgError::NotPositiveDefinite`].
 ///
 /// # Example
 ///
 /// ```
-/// use kato_linalg::{Cholesky, Matrix};
+/// use kato_linalg::{CholeskyFactor, Matrix};
 ///
 /// # fn main() -> Result<(), kato_linalg::LinalgError> {
 /// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
-/// let chol = Cholesky::new(&a)?;
+/// let chol = CholeskyFactor::new(&a)?;
 /// let x = chol.solve(&[3.0, 3.0]);
 /// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct Cholesky {
+pub struct CholeskyFactor {
     l: Matrix,
     jitter: f64,
 }
 
-impl Cholesky {
+/// Former name of [`CholeskyFactor`].
+///
+/// **Deprecation note:** this alias predates the updatable-factor redesign
+/// and is kept only so existing call sites keep compiling; new code should
+/// import [`CholeskyFactor`]. It will be removed once downstream crates
+/// have migrated.
+pub type Cholesky = CholeskyFactor;
+
+/// Runs the scalar Cholesky recurrence for rows `start..n` of `l`, reading
+/// the source matrix through `a(i, j)` (only queried for `j <= i`,
+/// `i >= start`) and adding `jitter` to diagonal entries.
+///
+/// Rows `0..start` of `l` must already hold a valid factor of the leading
+/// block. Because the leading block of `L` depends only on the leading
+/// block of `A`, running this with `start == 0` (fresh factorisation) or
+/// `start == n_old` (extension) executes the *identical* sequence of
+/// floating-point operations per entry — an extended factor is bitwise the
+/// factor a from-scratch run at the same jitter would have produced.
+///
+/// The inner reduction is a slice dot product over row prefixes (row `i`
+/// and row `j` of `L` are both finished up to column `j` when `l[i][j]` is
+/// computed), which is the cache-friendly, vectorisable form of the
+/// textbook `sum -= l[i][k]·l[j][k]` loop.
+fn factor_rows<A>(l: &mut Matrix, a: A, start: usize, jitter: f64) -> Result<(), LinalgError>
+where
+    A: Fn(usize, usize) -> f64,
+{
+    let n = l.rows();
+    for i in start..n {
+        for j in 0..=i {
+            let prod = {
+                let (head, tail) = l.split_rows_at_mut(i);
+                let row_i = &tail[..j];
+                let row_j = if j == i {
+                    row_i
+                } else {
+                    &head[j * n..j * n + j]
+                };
+                kernels::dot(row_i, row_j)
+            };
+            let mut sum = a(i, j);
+            if i == j {
+                sum += jitter;
+            }
+            sum -= prod;
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(())
+}
+
+impl CholeskyFactor {
     /// Maximum number of jitter escalations before declaring failure.
     const MAX_TRIES: usize = 10;
 
@@ -54,39 +127,19 @@ impl Cholesky {
         let base = (mean_diag.max(1e-300)) * 1e-10;
         let mut jitter = 0.0;
         for attempt in 0..Self::MAX_TRIES {
-            match Self::try_factor(a, jitter) {
-                Some(l) => return Ok(Cholesky { l, jitter }),
-                None => {
-                    jitter = base * 10f64.powi(attempt as i32);
-                }
+            let mut l = Matrix::zeros(n, n);
+            match factor_rows(&mut l, |i, j| a[(i, j)], 0, jitter) {
+                Ok(()) => return Ok(CholeskyFactor { l, jitter }),
+                Err(_) => jitter = base * 10f64.powi(attempt as i32),
             }
         }
         Err(LinalgError::NotPositiveDefinite)
     }
 
-    fn try_factor(a: &Matrix, jitter: f64) -> Option<Matrix> {
-        let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let mut sum = a[(i, j)];
-                if i == j {
-                    sum += jitter;
-                }
-                for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
-                }
-                if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
-                        return None;
-                    }
-                    l[(i, j)] = sum.sqrt();
-                } else {
-                    l[(i, j)] = sum / l[(j, j)];
-                }
-            }
-        }
-        Some(l)
+    /// Dimension `n` of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
     }
 
     /// The lower-triangular factor `L`.
@@ -101,11 +154,140 @@ impl Cholesky {
         self.jitter
     }
 
+    /// Rank-`k` extension: appends `k` rows/columns to the factored matrix
+    /// without refactorising the existing `n×n` prefix — `O(k·n²)` instead
+    /// of `O(n³)`.
+    ///
+    /// `cross` is the `k×n` block of covariances between the new and the
+    /// existing points (row `p` ↔ new point `p`); `corner` is the `k×k`
+    /// block among the new points, *including* any noise/nugget already on
+    /// its diagonal. The factor's own jitter is applied to the new diagonal
+    /// entries, so the result is bitwise identical to what
+    /// [`CholeskyFactor::new`]'s recurrence would produce on the full
+    /// `(n+k)×(n+k)` matrix at this factor's jitter.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] / [`LinalgError::DimensionMismatch`] for
+    ///   shape violations.
+    /// * [`LinalgError::NotPositiveDefinite`] when the Schur complement of
+    ///   the new block is not positive definite. The factor is left
+    ///   **untouched** in every error case — the caller's fallback is a
+    ///   full refactorisation with jitter escalation.
+    pub fn extend(&mut self, cross: &Matrix, corner: &Matrix) -> Result<(), LinalgError> {
+        if !corner.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: corner.rows(),
+                cols: corner.cols(),
+            });
+        }
+        let n = self.l.rows();
+        let k = corner.rows();
+        if cross.rows() != k || cross.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CholeskyFactor::extend (cross block)",
+                expected: n,
+                actual: cross.cols(),
+            });
+        }
+        if k == 0 {
+            return Ok(());
+        }
+        let m = n + k;
+        let mut l = Matrix::zeros(m, m);
+        for i in 0..n {
+            l.row_mut(i)[..n].copy_from_slice(self.l.row(i));
+        }
+        factor_rows(
+            &mut l,
+            |i, j| {
+                if j < n {
+                    cross[(i - n, j)]
+                } else {
+                    corner[(i - n, j - n)]
+                }
+            },
+            n,
+            self.jitter,
+        )?;
+        self.l = l;
+        Ok(())
+    }
+
+    /// Rank-1 downdate: replaces the factor of `A` with the factor of
+    /// `A − v vᵀ` via hyperbolic rotations, guarded by a per-pivot
+    /// positive-definiteness check.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `v.len()` differs from the
+    ///   factor dimension.
+    /// * [`LinalgError::NotPositiveDefinite`] when `A − v vᵀ` is not
+    ///   positive definite (any rotation pivot goes non-positive). The
+    ///   update runs on a copy, so the held factor is left **untouched** on
+    ///   failure and the caller can refactorise the downdated matrix from
+    ///   scratch (where jitter escalation may still rescue it).
+    pub fn downdate(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        let n = self.l.rows();
+        if v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CholeskyFactor::downdate",
+                expected: n,
+                actual: v.len(),
+            });
+        }
+        let mut l = self.l.clone();
+        let mut w = v.to_vec();
+        for k in 0..n {
+            let lkk = l[(k, k)];
+            let r2 = lkk * lkk - w[k] * w[k];
+            if r2 <= 0.0 || !r2.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite);
+            }
+            let r = r2.sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            l[(k, k)] = r;
+            for i in (k + 1)..n {
+                let lik = (l[(i, k)] - s * w[i]) / c;
+                l[(i, k)] = lik;
+                w[i] = c * w[i] - s * lik;
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
+
+    /// Truncates the factor to its leading `new_dim × new_dim` principal
+    /// block — the exact factor of the corresponding leading block of `A`
+    /// (dropping trailing points never needs refactorisation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::BadShape`] if `new_dim` exceeds the current
+    /// dimension.
+    pub fn shrink(&mut self, new_dim: usize) -> Result<(), LinalgError> {
+        let n = self.l.rows();
+        if new_dim > n {
+            return Err(LinalgError::BadShape {
+                context: "CholeskyFactor::shrink (new_dim > dim)",
+            });
+        }
+        if new_dim == n {
+            return Ok(());
+        }
+        let mut l = Matrix::zeros(new_dim, new_dim);
+        for i in 0..new_dim {
+            l.row_mut(i).copy_from_slice(&self.l.row(i)[..new_dim]);
+        }
+        self.l = l;
+        Ok(())
+    }
+
     /// Solves `A x = b` using forward then backward substitution.
     ///
-    /// # Panics
-    ///
-    /// Panics if `b.len()` differs from the matrix dimension.
+    /// The right-hand-side length must equal the factor dimension
+    /// (debug-asserted; callers sit behind shape-checked factorisations).
     #[must_use]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let y = self.forward_sub(b);
@@ -114,19 +296,16 @@ impl Cholesky {
 
     /// Solves `L y = b` (forward substitution).
     ///
-    /// # Panics
-    ///
-    /// Panics if `b.len()` differs from the matrix dimension.
+    /// The right-hand-side length must equal the factor dimension
+    /// (debug-asserted).
     #[must_use]
     pub fn forward_sub(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.rows();
-        assert_eq!(b.len(), n, "forward_sub: rhs length mismatch");
+        debug_assert_eq!(b.len(), n, "forward_sub: rhs length mismatch");
         let mut y = vec![0.0; n];
         for i in 0..n {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
-            }
+            let row = &self.l.row(i)[..i];
+            let sum = b[i] - kernels::dot(row, &y[..i]);
             y[i] = sum / self.l[(i, i)];
         }
         y
@@ -134,13 +313,12 @@ impl Cholesky {
 
     /// Solves `Lᵀ x = y` (backward substitution).
     ///
-    /// # Panics
-    ///
-    /// Panics if `y.len()` differs from the matrix dimension.
+    /// The right-hand-side length must equal the factor dimension
+    /// (debug-asserted).
     #[must_use]
     pub fn backward_sub(&self, y: &[f64]) -> Vec<f64> {
         let n = self.l.rows();
-        assert_eq!(y.len(), n, "backward_sub: rhs length mismatch");
+        debug_assert_eq!(y.len(), n, "backward_sub: rhs length mismatch");
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
@@ -154,50 +332,56 @@ impl Cholesky {
 
     /// Solves `L Y = B` for a whole right-hand-side matrix (forward
     /// substitution on every column at once) — the batched form of
-    /// [`Cholesky::forward_sub`] used by `predict_batch`-style posterior
-    /// inference, where `B` stacks one cross-covariance vector per query
-    /// point as a column. Column `j` of the result is bit-for-bit the same
-    /// as `forward_sub(&b.col(j))`.
+    /// [`CholeskyFactor::forward_sub`] used by `predict_batch`-style
+    /// posterior inference, where `B` stacks one cross-covariance vector per
+    /// query point as a column. Runs as row-level `axpy` updates (row `i`
+    /// accumulates `−l[i][k]`·row `k` for `k < i`, then divides), which
+    /// subtracts the same terms in the same order as the element-wise form —
+    /// bitwise-identical results, but on contiguous slices the compiler can
+    /// vectorise.
     ///
-    /// # Panics
-    ///
-    /// Panics if `b.rows()` differs from the matrix dimension.
+    /// `b.rows()` must equal the factor dimension (debug-asserted).
     #[must_use]
     pub fn forward_sub_matrix(&self, b: &Matrix) -> Matrix {
         let n = self.l.rows();
-        assert_eq!(b.rows(), n, "forward_sub_matrix: rhs row-count mismatch");
+        debug_assert_eq!(b.rows(), n, "forward_sub_matrix: rhs row-count mismatch");
         let q = b.cols();
-        let mut y = Matrix::zeros(n, q);
+        let mut y = b.clone();
         for i in 0..n {
-            for j in 0..q {
-                let mut sum = b[(i, j)];
-                for k in 0..i {
-                    sum -= self.l[(i, k)] * y[(k, j)];
-                }
-                y[(i, j)] = sum / self.l[(i, i)];
+            let l_row = self.l.row(i);
+            let (head, tail) = y.split_rows_at_mut(i);
+            let y_i = &mut tail[..q];
+            for (k, &lik) in l_row.iter().enumerate().take(i) {
+                kernels::axpy(-lik, &head[k * q..(k + 1) * q], y_i);
+            }
+            let inv_piv = l_row[i];
+            for v in y_i.iter_mut() {
+                *v /= inv_piv;
             }
         }
         y
     }
 
-    /// Solves `Lᵀ X = Y` column-wise (batched [`Cholesky::backward_sub`]).
+    /// Solves `Lᵀ X = Y` column-wise (batched
+    /// [`CholeskyFactor::backward_sub`], same row-`axpy` scheme as
+    /// [`CholeskyFactor::forward_sub_matrix`]).
     ///
-    /// # Panics
-    ///
-    /// Panics if `y.rows()` differs from the matrix dimension.
+    /// `y.rows()` must equal the factor dimension (debug-asserted).
     #[must_use]
     pub fn backward_sub_matrix(&self, y: &Matrix) -> Matrix {
         let n = self.l.rows();
-        assert_eq!(y.rows(), n, "backward_sub_matrix: rhs row-count mismatch");
+        debug_assert_eq!(y.rows(), n, "backward_sub_matrix: rhs row-count mismatch");
         let q = y.cols();
-        let mut x = Matrix::zeros(n, q);
+        let mut x = y.clone();
         for i in (0..n).rev() {
-            for j in 0..q {
-                let mut sum = y[(i, j)];
-                for k in (i + 1)..n {
-                    sum -= self.l[(k, i)] * x[(k, j)];
-                }
-                x[(i, j)] = sum / self.l[(i, i)];
+            let (head, tail) = x.split_rows_at_mut(i + 1);
+            let x_i = &mut head[i * q..];
+            for k in (i + 1)..n {
+                kernels::axpy(-self.l[(k, i)], &tail[(k - i - 1) * q..(k - i) * q], x_i);
+            }
+            let piv = self.l[(i, i)];
+            for v in x_i.iter_mut() {
+                *v /= piv;
             }
         }
         x
@@ -206,9 +390,7 @@ impl Cholesky {
     /// Solves `A X = B` for a whole right-hand-side matrix (forward then
     /// backward substitution on every column).
     ///
-    /// # Panics
-    ///
-    /// Panics if `b.rows()` differs from the matrix dimension.
+    /// `b.rows()` must equal the factor dimension (debug-asserted).
     #[must_use]
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
         self.backward_sub_matrix(&self.forward_sub_matrix(b))
@@ -225,16 +407,7 @@ impl Cholesky {
     #[must_use]
     pub fn inverse(&self) -> Matrix {
         let n = self.l.rows();
-        let mut inv = Matrix::zeros(n, n);
-        let mut e = vec![0.0; n];
-        for j in 0..n {
-            e[j] = 1.0;
-            let col = self.solve(&e);
-            for i in 0..n {
-                inv[(i, j)] = col[i];
-            }
-            e[j] = 0.0;
-        }
+        let mut inv = self.solve_matrix(&Matrix::identity(n));
         inv.symmetrize();
         inv
     }
@@ -256,18 +429,19 @@ mod tests {
     #[test]
     fn factor_known_matrix() {
         let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
-        let c = Cholesky::new(&a).unwrap();
+        let c = CholeskyFactor::new(&a).unwrap();
         let l = c.l();
         assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
         assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
         assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
         assert_eq!(c.jitter(), 0.0);
+        assert_eq!(c.dim(), 2);
     }
 
     #[test]
     fn solve_recovers_rhs() {
         let a = spd_from_seedish(&[0.3, -1.2, 0.7, 2.0, 0.05, -0.4], 5);
-        let c = Cholesky::new(&a).unwrap();
+        let c = CholeskyFactor::new(&a).unwrap();
         let x_true: Vec<f64> = (0..5).map(|i| (i as f64) - 2.0).collect();
         let b = a.matvec(&x_true).unwrap();
         let x = c.solve(&b);
@@ -279,14 +453,14 @@ mod tests {
     #[test]
     fn log_det_matches_2x2() {
         let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]).unwrap();
-        let c = Cholesky::new(&a).unwrap();
+        let c = CholeskyFactor::new(&a).unwrap();
         assert!((c.log_det() - 36.0_f64.ln()).abs() < 1e-12);
     }
 
     #[test]
     fn inverse_times_matrix_is_identity() {
         let a = spd_from_seedish(&[1.0, 0.2, -0.3, 0.9], 4);
-        let c = Cholesky::new(&a).unwrap();
+        let c = CholeskyFactor::new(&a).unwrap();
         let prod = c.inverse().matmul(&a).unwrap();
         let err = (&prod - &Matrix::identity(4)).max_abs();
         assert!(err < 1e-9, "max deviation from identity: {err}");
@@ -298,7 +472,7 @@ mod tests {
         // rounding falls the wrong way) and produce finite solves.
         let mut a = Matrix::from_fn(3, 3, |_, _| 1.0);
         a.add_diagonal(1e-14);
-        let c = Cholesky::new(&a).unwrap();
+        let c = CholeskyFactor::new(&a).unwrap();
         let x = c.solve(&[1.0, 1.0, 1.0]);
         assert!(x.iter().all(|v| v.is_finite()));
     }
@@ -307,7 +481,7 @@ mod tests {
     fn exactly_singular_rank1_gets_jitter() {
         // Exactly rank-1: zero pivot forces at least one jitter escalation.
         let a = Matrix::from_fn(3, 3, |_, _| 1.0);
-        let c = Cholesky::new(&a).unwrap();
+        let c = CholeskyFactor::new(&a).unwrap();
         assert!(c.jitter() > 0.0);
     }
 
@@ -315,7 +489,7 @@ mod tests {
     fn rejects_rectangular() {
         let a = Matrix::zeros(2, 3);
         assert!(matches!(
-            Cholesky::new(&a),
+            CholeskyFactor::new(&a),
             Err(LinalgError::NotSquare { .. })
         ));
     }
@@ -324,7 +498,7 @@ mod tests {
     fn rejects_negative_definite() {
         let a = Matrix::from_rows(&[&[-5.0, 0.0], &[0.0, -5.0]]).unwrap();
         assert!(matches!(
-            Cholesky::new(&a),
+            CholeskyFactor::new(&a),
             Err(LinalgError::NotPositiveDefinite)
         ));
     }
@@ -332,7 +506,7 @@ mod tests {
     #[test]
     fn matrix_solves_match_columnwise_vector_solves() {
         let a = spd_from_seedish(&[0.4, -0.9, 1.3, 0.2, -0.6, 0.8], 5);
-        let c = Cholesky::new(&a).unwrap();
+        let c = CholeskyFactor::new(&a).unwrap();
         let b = Matrix::from_fn(5, 3, |i, j| (i as f64 * 0.7 - j as f64 * 1.1).sin());
         let fwd = c.forward_sub_matrix(&b);
         let full = c.solve_matrix(&b);
@@ -341,25 +515,163 @@ mod tests {
             let fwd_col = c.forward_sub(&col);
             let solve_col = c.solve(&col);
             for i in 0..5 {
-                assert_eq!(fwd[(i, j)], fwd_col[i], "forward ({i},{j})");
-                assert_eq!(full[(i, j)], solve_col[i], "solve ({i},{j})");
+                assert!(
+                    (fwd[(i, j)] - fwd_col[i]).abs() < 1e-12,
+                    "forward ({i},{j})"
+                );
+                assert!(
+                    (full[(i, j)] - solve_col[i]).abs() < 1e-10,
+                    "solve ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "rhs row-count mismatch")]
+    fn matrix_solve_rejects_wrong_row_count() {
+        let a = Matrix::identity(3);
+        let c = CholeskyFactor::new(&a).unwrap();
+        let _ = c.forward_sub_matrix(&Matrix::zeros(2, 3));
+    }
+
+    /// Splits an SPD matrix at `n`, factors the prefix, extends with the
+    /// remainder, and returns `(extended, from_scratch)` factors.
+    fn extend_vs_scratch(a: &Matrix, n: usize) -> (CholeskyFactor, CholeskyFactor) {
+        let m = a.rows();
+        let prefix = Matrix::from_fn(n, n, |i, j| a[(i, j)]);
+        let mut c = CholeskyFactor::new(&prefix).unwrap();
+        let cross = Matrix::from_fn(m - n, n, |p, j| a[(n + p, j)]);
+        let corner = Matrix::from_fn(m - n, m - n, |p, q| a[(n + p, n + q)]);
+        c.extend(&cross, &corner).unwrap();
+        (c, CholeskyFactor::new(a).unwrap())
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_bitwise() {
+        let a = spd_from_seedish(&[0.7, -0.4, 1.9, 0.3, -1.1, 0.6, 0.2], 6);
+        let (ext, scratch) = extend_vs_scratch(&a, 4);
+        // Strongly SPD input → both paths run at jitter 0 with the identical
+        // scalar recurrence, so the factors agree to the bit.
+        assert_eq!(ext.jitter(), scratch.jitter());
+        assert_eq!(ext.l().as_slice(), scratch.l().as_slice());
+    }
+
+    #[test]
+    fn extend_from_empty_factor() {
+        let a = spd_from_seedish(&[1.4, -0.2, 0.8, 0.5], 3);
+        let mut c = CholeskyFactor::new(&Matrix::zeros(0, 0)).unwrap();
+        c.extend(&Matrix::zeros(3, 0), &a).unwrap();
+        let scratch = CholeskyFactor::new(&a).unwrap();
+        assert_eq!(c.l().as_slice(), scratch.l().as_slice());
+    }
+
+    #[test]
+    fn extend_rejects_bad_shapes_and_keeps_factor() {
+        let a = spd_from_seedish(&[0.9, 0.1, -0.5, 1.2], 3);
+        let mut c = CholeskyFactor::new(&a).unwrap();
+        let before = c.l().clone();
+        assert!(matches!(
+            c.extend(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            c.extend(&Matrix::zeros(2, 4), &Matrix::zeros(2, 2)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert_eq!(c.l().as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn extend_rejects_non_pd_corner_then_full_refactor_recovers() {
+        // Corner identical to an existing row → the Schur complement is
+        // exactly singular; extend must refuse and leave the factor intact,
+        // and the caller's fallback (full refactorisation with jitter
+        // escalation) must still succeed.
+        let a = spd_from_seedish(&[0.8, -0.3, 1.1, 0.4], 3);
+        let mut c = CholeskyFactor::new(&a).unwrap();
+        let before = c.l().clone();
+        let dup_row = Matrix::from_fn(1, 3, |_, j| a[(0, j)]);
+        let dup_corner = Matrix::from_fn(1, 1, |_, _| a[(0, 0)]);
+        assert!(matches!(
+            c.extend(&dup_row, &dup_corner),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+        assert_eq!(c.l().as_slice(), before.as_slice());
+        // Fallback path: refactorise the full matrix from scratch.
+        let full = Matrix::from_fn(4, 4, |i, j| {
+            let ii = if i == 3 { 0 } else { i };
+            let jj = if j == 3 { 0 } else { j };
+            a[(ii, jj)]
+        });
+        let refactored = CholeskyFactor::new(&full).unwrap();
+        assert!(refactored.jitter() > 0.0);
+        assert!(refactored.solve(&[1.0; 4]).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn downdate_matches_refactorisation() {
+        let a = spd_from_seedish(&[1.3, -0.7, 0.2, 0.9, -0.1], 4);
+        let mut c = CholeskyFactor::new(&a).unwrap();
+        let v = [0.4, -0.3, 0.2, 0.1];
+        c.downdate(&v).unwrap();
+        let mut down = a.clone();
+        for i in 0..4 {
+            for j in 0..4 {
+                down[(i, j)] -= v[i] * v[j];
+            }
+        }
+        let scratch = CholeskyFactor::new(&down).unwrap();
+        for i in 0..4 {
+            for j in 0..=i {
+                assert!(
+                    (c.l()[(i, j)] - scratch.l()[(i, j)]).abs() < 1e-10,
+                    "({i},{j}): {} vs {}",
+                    c.l()[(i, j)],
+                    scratch.l()[(i, j)]
+                );
             }
         }
     }
 
     #[test]
-    #[should_panic(expected = "rhs row-count mismatch")]
-    fn matrix_solve_rejects_wrong_row_count() {
+    fn downdate_rejects_pd_loss_and_keeps_factor() {
         let a = Matrix::identity(3);
-        let c = Cholesky::new(&a).unwrap();
-        let _ = c.forward_sub_matrix(&Matrix::zeros(2, 3));
+        let mut c = CholeskyFactor::new(&a).unwrap();
+        let before = c.l().clone();
+        // ‖v‖ > 1 destroys positive definiteness of I − vvᵀ.
+        assert!(matches!(
+            c.downdate(&[2.0, 0.0, 0.0]),
+            Err(LinalgError::NotPositiveDefinite)
+        ));
+        assert!(matches!(
+            c.downdate(&[1.0, 1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        assert_eq!(c.l().as_slice(), before.as_slice());
+        let x = c.solve(&[1.0, 2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn shrink_truncates_exactly() {
+        let a = spd_from_seedish(&[0.6, 1.4, -0.8, 0.3, 0.9], 5);
+        let mut c = CholeskyFactor::new(&a).unwrap();
+        c.shrink(3).unwrap();
+        let prefix = Matrix::from_fn(3, 3, |i, j| a[(i, j)]);
+        let scratch = CholeskyFactor::new(&prefix).unwrap();
+        assert_eq!(c.l().as_slice(), scratch.l().as_slice());
+        assert!(c.shrink(4).is_err());
+        c.shrink(3).unwrap(); // no-op at the current dimension
+        assert_eq!(c.dim(), 3);
     }
 
     proptest! {
         #[test]
         fn prop_solve_roundtrip(seed in proptest::collection::vec(-2.0..2.0f64, 9), n in 2usize..6) {
             let a = spd_from_seedish(&seed, n);
-            let c = Cholesky::new(&a).unwrap();
+            let c = CholeskyFactor::new(&a).unwrap();
             let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7) - 1.0).collect();
             let b = a.matvec(&x_true).unwrap();
             let x = c.solve(&b);
@@ -371,10 +683,94 @@ mod tests {
         #[test]
         fn prop_l_lower_triangular(seed in proptest::collection::vec(-2.0..2.0f64, 9), n in 2usize..6) {
             let a = spd_from_seedish(&seed, n);
-            let c = Cholesky::new(&a).unwrap();
+            let c = CholeskyFactor::new(&a).unwrap();
             for i in 0..n {
                 for j in (i+1)..n {
                     prop_assert_eq!(c.l()[(i, j)], 0.0);
+                }
+            }
+        }
+
+        /// Random SPD growth sequences: factor a prefix, extend in one or
+        /// two batches, and the result must match the from-scratch
+        /// factorisation of the full matrix to 1e-10 (it is in fact
+        /// bitwise-identical; the tolerance keeps the property honest if
+        /// the recurrence is ever reordered).
+        #[test]
+        fn prop_extend_growth_matches_scratch(
+            seed in proptest::collection::vec(-2.0..2.0f64, 12),
+            n0 in 1usize..4,
+            k1 in 1usize..4,
+            k2 in 0usize..3,
+        ) {
+            let m = n0 + k1 + k2;
+            let a = spd_from_seedish(&seed, m);
+            let prefix = Matrix::from_fn(n0, n0, |i, j| a[(i, j)]);
+            let mut c = CholeskyFactor::new(&prefix).unwrap();
+            let mut grown = n0;
+            for k in [k1, k2] {
+                if k == 0 { continue; }
+                let cross = Matrix::from_fn(k, grown, |p, j| a[(grown + p, j)]);
+                let corner = Matrix::from_fn(k, k, |p, q| a[(grown + p, grown + q)]);
+                c.extend(&cross, &corner).unwrap();
+                grown += k;
+            }
+            let scratch = CholeskyFactor::new(&a).unwrap();
+            prop_assert_eq!(c.jitter(), scratch.jitter());
+            for i in 0..m {
+                for j in 0..=i {
+                    prop_assert!(
+                        (c.l()[(i, j)] - scratch.l()[(i, j)]).abs() <= 1e-10,
+                        "entry ({},{}) diverged", i, j
+                    );
+                }
+            }
+        }
+
+        /// Downdating by a shrunk random vector matches refactorising the
+        /// downdated matrix; scaling the vector up until positive
+        /// definiteness breaks exercises the rejection + fallback path.
+        #[test]
+        fn prop_downdate_matches_or_rejects_cleanly(
+            seed in proptest::collection::vec(-2.0..2.0f64, 10),
+            vraw in proptest::collection::vec(-1.0..1.0f64, 4),
+            n in 2usize..5,
+        ) {
+            let a = spd_from_seedish(&seed, n);
+            let v: Vec<f64> = vraw.iter().take(n).copied().collect();
+            let v: Vec<f64> = if v.len() < n {
+                (0..n).map(|i| *vraw.get(i % vraw.len()).unwrap_or(&0.1) * 0.3).collect()
+            } else {
+                v.iter().map(|x| x * 0.3).collect()
+            };
+            let mut c = CholeskyFactor::new(&a).unwrap();
+            let before = c.l().clone();
+            let mut down = a.clone();
+            for i in 0..n {
+                for j in 0..n {
+                    down[(i, j)] -= v[i] * v[j];
+                }
+            }
+            match c.downdate(&v) {
+                Ok(()) => {
+                    let scratch = CholeskyFactor::new(&down).unwrap();
+                    for i in 0..n {
+                        for j in 0..=i {
+                            prop_assert!(
+                                (c.l()[(i, j)] - scratch.l()[(i, j)]).abs() <= 1e-8,
+                                "entry ({},{}) diverged", i, j
+                            );
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Rejection leaves the factor untouched and the caller's
+                    // from-scratch fallback still gets a usable factor (the
+                    // jitter ladder absorbs borderline cases).
+                    prop_assert_eq!(c.l().as_slice(), before.as_slice());
+                    if let Ok(refactored) = CholeskyFactor::new(&down) {
+                        prop_assert!(refactored.solve(&vec![1.0; n]).iter().all(|x| x.is_finite()));
+                    }
                 }
             }
         }

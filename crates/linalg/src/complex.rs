@@ -174,7 +174,7 @@ impl fmt::Display for Complex64 {
 ///     vec![Complex64::ZERO, Complex64::new(2.0, 0.0)],
 /// ];
 /// let lu = ComplexLu::new(a)?;
-/// let x = lu.solve(&[Complex64::new(2.0, 2.0), Complex64::new(4.0, 0.0)])?;
+/// let x = lu.solve(&[Complex64::new(2.0, 2.0), Complex64::new(4.0, 0.0)]);
 /// assert!((x[0] - Complex64::new(2.0, 0.0)).abs() < 1e-12);
 /// # Ok(())
 /// # }
@@ -241,18 +241,13 @@ impl ComplexLu {
 
     /// Solves `A x = b`.
     ///
-    /// # Errors
-    ///
-    /// Returns [`LinalgError::DimensionMismatch`] on an rhs-length mismatch.
-    pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+    /// The right-hand-side length must equal the matrix dimension
+    /// (debug-asserted, matching the [`crate::CholeskyFactor`] solve
+    /// contract).
+    #[must_use]
+    pub fn solve(&self, b: &[Complex64]) -> Vec<Complex64> {
         let n = self.lu.len();
-        if b.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                context: "ComplexLu::solve",
-                expected: n,
-                actual: b.len(),
-            });
-        }
+        debug_assert_eq!(b.len(), n, "ComplexLu::solve: rhs length mismatch");
         let mut y: Vec<Complex64> = (0..n).map(|i| b[self.perm[i]]).collect();
         for i in 1..n {
             let mut sum = y[i];
@@ -268,7 +263,7 @@ impl ComplexLu {
             }
             y[i] = sum / self.lu[i][i];
         }
-        Ok(y)
+        y
     }
 }
 
@@ -314,9 +309,7 @@ mod tests {
             vec![Complex64::ONE, Complex64::I],
         ];
         let lu = ComplexLu::new(a).unwrap();
-        let x = lu
-            .solve(&[Complex64::new(2.0, 0.0), Complex64::new(1.0, 2.0)])
-            .unwrap();
+        let x = lu.solve(&[Complex64::new(2.0, 0.0), Complex64::new(1.0, 2.0)]);
         // x1 = 2 from first row; second row: x0 + j*2 = 1 + 2j => x0 = 1.
         assert!((x[1] - Complex64::new(2.0, 0.0)).abs() < 1e-12);
         assert!((x[0] - Complex64::new(1.0, 0.0)).abs() < 1e-12);
@@ -349,7 +342,7 @@ mod tests {
                 s
             }).collect();
             let lu = ComplexLu::new(a).unwrap();
-            let x = lu.solve(&b).unwrap();
+            let x = lu.solve(&b);
             for (xi, ti) in x.iter().zip(&x_true) {
                 prop_assert!((*xi - *ti).abs() < 1e-8);
             }

@@ -6,9 +6,12 @@
 //! this crate provides everything the rest of the workspace needs:
 //!
 //! * [`Matrix`] — a small row-major dense `f64` matrix with the usual
-//!   arithmetic, products and views.
-//! * [`Cholesky`] — jittered Cholesky factorisation used by the Gaussian
-//!   process crates for Gram-matrix solves and log-determinants.
+//!   arithmetic, cache-blocked products and views.
+//! * [`CholeskyFactor`] — persistent, updatable jittered Cholesky
+//!   factorisation used by the Gaussian process crates: one-shot solves and
+//!   log-determinants plus rank-k [`CholeskyFactor::extend`] /
+//!   [`CholeskyFactor::downdate`] updates for the incremental-refit hot
+//!   path. ([`Cholesky`] remains as a compatibility alias.)
 //! * [`Lu`] — partially-pivoted LU for the real Newton solves inside the MNA
 //!   circuit simulator.
 //! * [`Complex64`] / [`ComplexLu`] — minimal complex arithmetic and a complex
@@ -19,11 +22,11 @@
 //! # Example
 //!
 //! ```
-//! use kato_linalg::{Matrix, Cholesky};
+//! use kato_linalg::{Matrix, CholeskyFactor};
 //!
 //! # fn main() -> Result<(), kato_linalg::LinalgError> {
 //! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
-//! let chol = Cholesky::new(&a)?;
+//! let chol = CholeskyFactor::new(&a)?;
 //! let x = chol.solve(&[1.0, 2.0]);
 //! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
 //! # Ok(())
@@ -33,11 +36,12 @@
 mod cholesky;
 mod complex;
 mod error;
+mod kernels;
 mod lu;
 mod matrix;
 pub mod stats;
 
-pub use cholesky::Cholesky;
+pub use cholesky::{Cholesky, CholeskyFactor};
 pub use complex::{Complex64, ComplexLu};
 pub use error::LinalgError;
 pub use lu::Lu;
@@ -76,6 +80,12 @@ pub fn cmp_nan_last(a: &f64, b: &f64) -> std::cmp::Ordering {
 
 /// Dot product of two equal-length slices.
 ///
+/// **Deprecation note:** this free helper predates the blocked kernels in
+/// the `kernels` module and the [`CholeskyFactor`]/[`Matrix`] methods that
+/// wrap them. Prefer those methods for linear-algebra work; this helper is
+/// kept for feature-space callers (kernel distance computations) and will
+/// not gain the `simd` fast paths.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
@@ -87,6 +97,9 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
+/// **Deprecation note:** see [`dot`] — kept for feature-space callers; not
+/// part of the blocked-kernel fast path.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
@@ -97,6 +110,9 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Euclidean norm of a slice.
+///
+/// **Deprecation note:** see [`dot`] — kept for feature-space callers; not
+/// part of the blocked-kernel fast path.
 #[must_use]
 pub fn norm(a: &[f64]) -> f64 {
     dot(a, a).sqrt()

@@ -13,7 +13,7 @@ use crate::{LinalgError, Matrix};
 /// # fn main() -> Result<(), kato_linalg::LinalgError> {
 /// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
 /// let lu = Lu::new(&a)?;
-/// let x = lu.solve(&[2.0, 2.0])?;
+/// let x = lu.solve(&[2.0, 2.0]);
 /// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
 /// # Ok(())
 /// # }
@@ -89,19 +89,13 @@ impl Lu {
 
     /// Solves `A x = b`.
     ///
-    /// # Errors
-    ///
-    /// Returns [`LinalgError::DimensionMismatch`] if `b.len()` differs from
-    /// the matrix dimension.
-    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    /// The right-hand-side length must equal the matrix dimension
+    /// (debug-asserted, matching the [`crate::CholeskyFactor`] solve
+    /// contract: shape errors are caller bugs, not runtime conditions).
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.lu.rows();
-        if b.len() != n {
-            return Err(LinalgError::DimensionMismatch {
-                context: "Lu::solve",
-                expected: n,
-                actual: b.len(),
-            });
-        }
+        debug_assert_eq!(b.len(), n, "Lu::solve: rhs length mismatch");
         // Apply permutation, then forward substitution with unit-diagonal L.
         let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
         for i in 1..n {
@@ -119,7 +113,7 @@ impl Lu {
             }
             y[i] = sum / self.lu[(i, i)];
         }
-        Ok(y)
+        y
     }
 
     /// Determinant of the factorised matrix.
@@ -142,7 +136,7 @@ mod tests {
     fn solve_requires_pivot() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
         let lu = Lu::new(&a).unwrap();
-        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        let x = lu.solve(&[5.0, 7.0]);
         assert!((x[0] - 7.0).abs() < 1e-12);
         assert!((x[1] - 5.0).abs() < 1e-12);
     }
@@ -177,11 +171,13 @@ mod tests {
         ));
     }
 
+    #[cfg(debug_assertions)]
     #[test]
+    #[should_panic(expected = "rhs length mismatch")]
     fn rhs_length_checked() {
         let a = Matrix::identity(3);
         let lu = Lu::new(&a).unwrap();
-        assert!(lu.solve(&[1.0, 2.0]).is_err());
+        let _ = lu.solve(&[1.0, 2.0]);
     }
 
     proptest! {
@@ -196,7 +192,7 @@ mod tests {
             let lu = Lu::new(&a).unwrap();
             let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 1.0).collect();
             let b = a.matvec(&x_true).unwrap();
-            let x = lu.solve(&b).unwrap();
+            let x = lu.solve(&b);
             for (xi, ti) in x.iter().zip(&x_true) {
                 prop_assert!((xi - ti).abs() < 1e-8);
             }

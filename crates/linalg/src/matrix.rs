@@ -6,7 +6,10 @@ use std::ops::{Add, Index, IndexMut, Mul, Sub};
 ///
 /// This is a deliberately small matrix type: the KATO workloads involve Gram
 /// matrices of at most a few hundred rows and MNA systems of a few dozen
-/// nodes, so clarity beats blocking/SIMD tricks.
+/// nodes. The hot products ([`Matrix::matmul`], the triangular solves in
+/// [`crate::CholeskyFactor`]) run on cache-blocked, slice-based row kernels
+/// (see the crate's internal `kernels` module and the optional `simd`
+/// feature); everything else keeps the straightforward index form.
 ///
 /// # Example
 ///
@@ -138,6 +141,15 @@ impl Matrix {
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Splits the storage at the start of row `r`: `(rows 0..r, rows r..)`,
+    /// both as flat row-major slices. This is what lets the triangular
+    /// solves update row `r` with slice kernels while reading the already-
+    /// finished rows above (or below) it.
+    pub(crate) fn split_rows_at_mut(&mut self, r: usize) -> (&mut [f64], &mut [f64]) {
+        debug_assert!(r <= self.rows, "split_rows_at_mut: row {r} out of bounds");
+        self.data.split_at_mut(r * self.cols)
+    }
+
     /// Copies column `j` into a new vector.
     ///
     /// # Panics
@@ -161,7 +173,18 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
+    /// Cache block (in `k`) for [`Matrix::matmul`]: 64 rows of the right
+    /// operand ≈ 64·cols·8 bytes, sized so the active `rhs` panel stays in
+    /// L1/L2 while every output row streams through it.
+    const MATMUL_BLOCK: usize = 64;
+
     /// Matrix product `self * rhs`.
+    ///
+    /// Runs as a cache-blocked ikj loop: the inner kernel is a slice-level
+    /// `axpy` of a `rhs` row onto an output row, with the `k` dimension
+    /// blocked so the touched `rhs` panel stays cache-resident. For every
+    /// output element the contributions still accumulate in ascending-`k`
+    /// order, so results are bitwise independent of the block size.
     ///
     /// # Errors
     ///
@@ -175,14 +198,16 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out[(i, j)] += a * rhs[(k, j)];
+        for kb in (0..self.cols).step_by(Self::MATMUL_BLOCK) {
+            let k_end = (kb + Self::MATMUL_BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let out_row = out.row_mut(i);
+                for (k, &a) in a_row.iter().enumerate().take(k_end).skip(kb) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    crate::kernels::axpy(a, rhs.row(k), out_row);
                 }
             }
         }

@@ -206,7 +206,7 @@ impl Circuit {
                 other => MnaError::Linalg(other),
             })?;
             let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
-            let mut dx = lu.solve(&neg_f)?;
+            let mut dx = lu.solve(&neg_f);
             // Damping: cap the node-voltage update.
             let max_dv = dx[..n_nodes].iter().fold(0.0_f64, |m, v| m.max(v.abs()));
             if damp && max_dv > options.max_step {

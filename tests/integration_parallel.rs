@@ -97,6 +97,28 @@ fn run_history_identical_across_thread_counts() {
 }
 
 #[test]
+fn incremental_refit_run_identical_across_thread_counts() {
+    // Per-iteration model updates now go through the incremental path
+    // (`update_incremental` → `Gp::append` / `KatGp::append`): frozen
+    // scalers, rank-k Cholesky extension and a warm-start likelihood check
+    // that sometimes skips retraining entirely. A longer run maximises the
+    // number of appends taken, so this gate proves the incremental path —
+    // including its refit fallbacks — is bitwise thread-count-invariant.
+    let _guard = ENV_LOCK.lock().unwrap();
+    let toy = Toy::new();
+    let run = || Kato::new(BoSettings::quick(32, 11)).run(&toy, Mode::Constrained);
+
+    std::env::set_var("KATO_THREADS", "1");
+    let serial = run();
+    std::env::set_var("KATO_THREADS", "4");
+    let parallel = run();
+    std::env::remove_var("KATO_THREADS");
+
+    assert_eq!(serial.len(), 32);
+    assert_histories_identical(&serial, &parallel);
+}
+
+#[test]
 fn transfer_run_identical_across_thread_counts() {
     // The transfer stack adds parallel KAT-GP restarts and the concurrent
     // P1/P2 proposal fan-out; it must be thread-count-invariant too.
