@@ -15,10 +15,10 @@
 //! finishes in seconds; raise `--budget` for real experiments. Results are
 //! written as JSON under `results/` (override with `--out`).
 
-use kato::{corner_audit, BoSettings, Kato, Mode, RunHistory, SourceData, WorstCaseProblem};
+use kato::{corner_audit_at, BoSettings, Kato, Mode, RunHistory, SourceData, WorstCaseProblem};
 use kato_bench::json::Json;
 use kato_bench::{final_stats, mean_sims_to_reach, run_seeds};
-use kato_circuits::{Corner, ScenarioRegistry, SizingProblem};
+use kato_circuits::{Backend, Corner, ScenarioRegistry, SizingProblem};
 use kato_serve::daemon::run_with_bank;
 use kato_serve::{Bank, SourceChoice};
 use std::process::ExitCode;
@@ -28,7 +28,8 @@ const USAGE: &str = "kato — transistor-sizing scenarios from the KATO reproduc
 USAGE:
     kato list
     kato run <scenario> [--tech <node>] [--corner <c>|worst] [--seeds <n>]
-                        [--budget <b>] [--bank <dir>] [--out <path>]
+                        [--budget <b>] [--backend <be>] [--bank <dir>]
+                        [--out <path>]
     kato transfer <src> <dst> [--tech <node>] [--src-tech <node>]
                         [--seeds <n>] [--budget <b>] [--source-n <m>]
                         [--out <path>]
@@ -45,6 +46,8 @@ OPTIONS:
     --seeds <n>      independent repetitions (default 1)
     --budget <b>     simulations per run, incl. 10 random init (default 40)
     --source-n <m>   source archive size for transfer (default 120)
+    --backend <be>   device backend: 'square_law' or 'lut' (default: the
+                     scenario's native backend — LUT for switch/varactor)
     --bank <dir>     knowledge bank: warm-start from archived runs of the
                      same scenario (any tech node) and persist this run
     --out <path>     results JSON path (default results/kato_<...>.json)
@@ -60,6 +63,7 @@ struct Opts {
     tech: Option<String>,
     src_tech: Option<String>,
     corner: Option<String>,
+    backend: Option<Backend>,
     seeds: usize,
     budget: usize,
     source_n: usize,
@@ -72,6 +76,7 @@ fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opt
         tech: None,
         src_tech: None,
         corner: None,
+        backend: None,
         seeds: 1,
         budget: 40,
         source_n: 120,
@@ -97,6 +102,12 @@ fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opt
             "--tech" => opts.tech = Some(value()?),
             "--src-tech" => opts.src_tech = Some(value()?),
             "--corner" => opts.corner = Some(value()?),
+            "--backend" => {
+                let v = value()?;
+                opts.backend = Some(Backend::parse(&v).ok_or_else(|| {
+                    format!("unknown backend '{v}' (expected 'square_law' or 'lut')")
+                })?);
+            }
             "--seeds" => {
                 opts.seeds = value()?
                     .parse()
@@ -125,17 +136,18 @@ fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opt
 
 fn cmd_list(registry: &ScenarioRegistry) {
     println!(
-        "{:<16} {:<12} {:<4} {:<28} corners",
-        "scenario", "tech nodes", "dim", "metrics"
+        "{:<16} {:<12} {:<4} {:<10} {:<28} corners",
+        "scenario", "tech nodes", "dim", "backend", "metrics"
     );
     for s in registry.scenarios() {
         let p = s.build_default();
         let corners: Vec<String> = s.corners.iter().map(Corner::name).collect();
         println!(
-            "{:<16} {:<12} {:<4} {:<28} {}",
+            "{:<16} {:<12} {:<4} {:<10} {:<28} {}",
             s.name,
             s.tech_names.join(","),
             p.dim(),
+            s.default_backend.name(),
             p.metric_names().join(","),
             corners.join(",")
         );
@@ -192,16 +204,21 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
     // Build the problem: a single named corner, or the worst-case wrapper.
     let worst = corner_arg == "worst";
     let problem: Box<dyn SizingProblem> = if worst {
-        Box::new(WorstCaseProblem::new(scenario, tech).map_err(|e| e.to_string())?)
+        Box::new(
+            WorstCaseProblem::with_backend(scenario, tech, opts.backend)
+                .map_err(|e| e.to_string())?,
+        )
     } else {
         registry
-            .build(name, Some(tech), Some(corner_arg))
+            .build_with(name, Some(tech), Some(corner_arg), opts.backend)
             .map_err(|e| e.to_string())?
     };
+    let backend_name = opts.backend.unwrap_or(scenario.default_backend).name();
     println!(
-        "run: {} (dim {}, budget {}, {} seed(s))",
+        "run: {} (dim {}, backend {}, budget {}, {} seed(s))",
         problem.name(),
         problem.dim(),
+        backend_name,
         opts.budget,
         opts.seeds
     );
@@ -314,7 +331,8 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("n_feasible > 0");
-        let audit = corner_audit(scenario, tech, &best.x).map_err(|e| e.to_string())?;
+        let audit =
+            corner_audit_at(scenario, tech, &best.x, opts.backend).map_err(|e| e.to_string())?;
         println!("  corner audit of the best design:");
         let mut rows = Vec::new();
         for eval in &audit {
@@ -341,6 +359,7 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
         ("scenario", Json::str(name)),
         ("tech", Json::str(tech)),
         ("corner", Json::str(corner_arg)),
+        ("backend", Json::str(backend_name)),
         ("budget", Json::Num(opts.budget as f64)),
         (
             "seeds",
@@ -461,7 +480,13 @@ fn main() -> ExitCode {
             Some(name) if !name.starts_with("--") => parse_opts(
                 "run",
                 &[
-                    "--tech", "--corner", "--seeds", "--budget", "--bank", "--out",
+                    "--tech",
+                    "--corner",
+                    "--backend",
+                    "--seeds",
+                    "--budget",
+                    "--bank",
+                    "--out",
                 ],
                 &args[2..],
             )

@@ -18,9 +18,12 @@
 //! generation, which is what catching a 2x regression needs.
 
 use kato::mace::{MaceProposer, MaceVariant};
-use kato::{metric_columns, BoSettings, Kato, MetricModels, Mode, ModelConfig, RunHistory};
+use kato::{
+    evaluate_batch_sharded, metric_columns, BoSettings, Kato, MetricModels, Mode, ModelConfig,
+    RunHistory,
+};
 use kato_bench::json::Json;
-use kato_circuits::{random_design, SizingProblem, TechNode, TwoStageOpAmp};
+use kato_circuits::{random_design, Backend, SizingProblem, TechNode, TwoStageOpAmp};
 use kato_gp::{Gp, GpConfig, KatConfig, KernelSpec};
 use kato_nsga::{Nsga2, Nsga2Config};
 use rand::rngs::StdRng;
@@ -165,6 +168,73 @@ fn run(label: &str, out: Option<&str>, samples: usize) -> Result<(), String> {
         black_box(gp);
     });
 
+    // Batched evaluation pipeline, two granularities over one 64-candidate
+    // population. (a) Whole-problem evaluation on opamp2: the historical
+    // scalar loop vs `evaluate_batch_sharded` (the path the optimizer,
+    // corner audits and daemon now take) on each device backend — here the
+    // MNA solves dominate, so backend choice moves the needle modestly.
+    // (b) The device-layer operating-point solve, which is where the LUT
+    // earns its keep: 64 `vgs`-for-`id` inversions as one batched grid
+    // walk (~7 four-load probes each) vs the square-law scalar loop's
+    // 60-iteration bisection with two transcendental-heavy model calls per
+    // step. The headline `speedup` is (b): batched LUT vs scalar
+    // square-law, and must clear 2x.
+    let pop_n = 64usize;
+    let population: Vec<Vec<f64>> = {
+        let mut rng = StdRng::seed_from_u64(29);
+        (0..pop_n)
+            .map(|_| random_design(problem.dim(), &mut rng))
+            .collect()
+    };
+    let lut_problem = TwoStageOpAmp::new(TechNode::n180().with_backend(Backend::Lut));
+    eprintln!("[timing eval scalar/batched x square_law/lut, {pop_n} candidates x{samples}]");
+    let eval_scalar_sq_s = time_median(samples, || {
+        for x in &population {
+            black_box(problem.evaluate(black_box(x)));
+        }
+    });
+    let eval_batched_sq_s = time_median(samples, || {
+        black_box(evaluate_batch_sharded(&problem, black_box(&population)));
+    });
+    let eval_scalar_lut_s = time_median(samples, || {
+        for x in &population {
+            black_box(lut_problem.evaluate(black_box(x)));
+        }
+    });
+    let eval_batched_lut_s = time_median(samples, || {
+        black_box(evaluate_batch_sharded(&lut_problem, black_box(&population)));
+    });
+
+    // (b): one operating-point inversion per candidate, targets taken from
+    // the model itself so every request is reachable.
+    let node_sq = TechNode::n180();
+    let node_lut = TechNode::n180().with_backend(Backend::Lut);
+    let requests: Vec<(f64, f64, f64, f64)> = {
+        let mut rng = StdRng::seed_from_u64(31);
+        (0..pop_n)
+            .map(|_| {
+                let r = random_design(4, &mut rng);
+                let w = 1e-6 * (1.0 + 39.0 * r[0]);
+                let l = 0.18e-6 + (2.0e-6 - 0.18e-6) * r[1];
+                let vds = 0.3 + 1.4 * r[2];
+                let vgs = 0.6 + 0.6 * r[3];
+                let (id, _, _) = node_sq.mos_iv(&node_sq.nmos, w, l, vgs, vds);
+                (w, l, vds, id)
+            })
+            .collect()
+    };
+    eprintln!(
+        "[timing op_point_solve scalar square_law vs batched lut, {pop_n} requests x{samples}]"
+    );
+    let vgs_scalar_sq_s = time_median(samples, || {
+        for &(w, l, vds, id) in &requests {
+            black_box(node_sq.vgs_for_id(&node_sq.nmos, w, l, vds, id));
+        }
+    });
+    let vgs_batched_lut_s = time_median(samples, || {
+        black_box(node_lut.vgs_for_id_batch(&node_lut.nmos, black_box(&requests)));
+    });
+
     // End to end: one full seeded KATO run, quick profile. Reported per
     // simulation so budget changes don't silently rescale the trajectory.
     let budget = 40usize;
@@ -194,6 +264,35 @@ fn run(label: &str, out: Option<&str>, samples: usize) -> Result<(), String> {
                 ("full_refit_ms", Json::Num(full_refit_s * 1e3)),
                 ("incremental_append_ms", Json::Num(incr_refit_s * 1e3)),
                 ("speedup", Json::Num(full_refit_s / incr_refit_s)),
+            ]),
+        ),
+        (
+            "eval",
+            Json::obj(vec![
+                ("population", Json::Num(pop_n as f64)),
+                (
+                    "problem_eval",
+                    Json::obj(vec![
+                        ("scenario", Json::str("opamp2_180nm")),
+                        ("scalar_square_law_ms", Json::Num(eval_scalar_sq_s * 1e3)),
+                        ("batched_square_law_ms", Json::Num(eval_batched_sq_s * 1e3)),
+                        ("scalar_lut_ms", Json::Num(eval_scalar_lut_s * 1e3)),
+                        ("batched_lut_ms", Json::Num(eval_batched_lut_s * 1e3)),
+                        ("speedup", Json::Num(eval_scalar_sq_s / eval_batched_lut_s)),
+                    ]),
+                ),
+                (
+                    "op_point_solve",
+                    Json::obj(vec![
+                        ("device", Json::str("nmos_180nm")),
+                        ("scalar_square_law_ms", Json::Num(vgs_scalar_sq_s * 1e3)),
+                        ("batched_lut_ms", Json::Num(vgs_batched_lut_s * 1e3)),
+                        ("speedup", Json::Num(vgs_scalar_sq_s / vgs_batched_lut_s)),
+                    ]),
+                ),
+                // Headline: batched LUT operating-point evaluation vs the
+                // scalar square-law loop on the 64-candidate population.
+                ("speedup", Json::Num(vgs_scalar_sq_s / vgs_batched_lut_s)),
             ]),
         ),
         (

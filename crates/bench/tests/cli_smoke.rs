@@ -95,6 +95,53 @@ fn run_supports_tech_and_corner_flags() {
 }
 
 #[test]
+fn run_supports_backend_flag() {
+    // A LUT-native scenario forced onto each backend explicitly.
+    for backend in ["lut", "square_law"] {
+        let path = out_path(&format!("run_backend_{backend}.json"));
+        let out = kato()
+            .args([
+                "run",
+                "switch",
+                "--backend",
+                backend,
+                "--budget",
+                "12",
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            json.contains(&format!("\"backend\":\"{backend}\"")),
+            "{json}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    let out = kato()
+        .args(["run", "switch", "--backend", "spice"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("square_law"), "{err}");
+
+    // `transfer` does not own --backend: rejected, not swallowed.
+    let out = kato()
+        .args(["transfer", "opamp2", "opamp3", "--backend", "lut"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn transfer_completes_and_writes_json() {
     let path = out_path("transfer.json");
     let out = kato()

@@ -1,6 +1,6 @@
 use crate::problem::{Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
 use crate::tech::TechNode;
-use kato_mna::{mos_iv_public, phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
+use kato_mna::{phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
 
 /// Single-stage folded-cascode OTA — the first of the registry's extended
 /// circuit family (GCN-RL and the transformer-LUT OTA sizers validate on
@@ -119,7 +119,6 @@ impl SizingProblem for FoldedCascodeOpAmp {
         let (l1, w_in, w_cas, w_mir, ib_tail, ib_fold) = (p[0], p[1], p[2], p[3], p[4], p[5]);
         let node = &self.node;
         let vdd = node.vdd;
-        let temp = node.temp_c;
 
         // The bottom current sources sink `ib_fold` per branch; the input
         // pair injects `ib_tail/2` into each folding node, so the cascode
@@ -134,21 +133,21 @@ impl SizingProblem for FoldedCascodeOpAmp {
 
         // --- Operating points -------------------------------------------
         let vds_mid = vdd / 3.0;
-        let vgs_in = TechNode::vgs_for_current_at(&node.pmos, w_in, l1, vds_mid, id_in, temp);
-        let (_, gm_in, gds_in) = mos_iv_public(&node.pmos, w_in, l1, vgs_in, vds_mid, temp);
+        let vgs_in = node.vgs_for_id(&node.pmos, w_in, l1, vds_mid, id_in);
+        let (_, gm_in, gds_in) = node.mos_iv(&node.pmos, w_in, l1, vgs_in, vds_mid);
 
-        let vgs_c = TechNode::vgs_for_current_at(&node.nmos, w_cas, l1, vds_mid, id_c, temp);
-        let (_, gm_c, gds_c) = mos_iv_public(&node.nmos, w_cas, l1, vgs_c, vds_mid, temp);
+        let vgs_c = node.vgs_for_id(&node.nmos, w_cas, l1, vds_mid, id_c);
+        let (_, gm_c, gds_c) = node.mos_iv(&node.nmos, w_cas, l1, vgs_c, vds_mid);
 
         // Bottom NMOS current source sized for V_ov ≈ 0.2 V at `ib_fold`.
         let wl_src = 2.0 * node.nmos.n_sub * ib_fold / (node.nmos.kp * 0.04);
         let w_src = (wl_src * l1).max(l1);
-        let vgs_src = TechNode::vgs_for_current_at(&node.nmos, w_src, l1, vds_mid, ib_fold, temp);
-        let (_, _, gds_src) = mos_iv_public(&node.nmos, w_src, l1, vgs_src, vds_mid, temp);
+        let vgs_src = node.vgs_for_id(&node.nmos, w_src, l1, vds_mid, ib_fold);
+        let (_, _, gds_src) = node.mos_iv(&node.nmos, w_src, l1, vgs_src, vds_mid);
 
         // Cascoded PMOS mirror load, both devices `w_mir`, carrying `id_c`.
-        let vgs_mp = TechNode::vgs_for_current_at(&node.pmos, w_mir, l1, vds_mid, id_c, temp);
-        let (_, gm_mp, gds_mp) = mos_iv_public(&node.pmos, w_mir, l1, vgs_mp, vds_mid, temp);
+        let vgs_mp = node.vgs_for_id(&node.pmos, w_mir, l1, vds_mid, id_c);
+        let (_, gm_mp, gds_mp) = node.mos_iv(&node.pmos, w_mir, l1, vgs_mp, vds_mid);
 
         // --- Output resistance: cascode boost on both stacks -------------
         let ro_down = (gm_c / gds_c) * (1.0 / (gds_src + gds_in));

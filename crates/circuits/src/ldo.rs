@@ -1,6 +1,6 @@
 use crate::problem::{Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
 use crate::tech::TechNode;
-use kato_mna::{mos_iv_public, phase_margin_deg, psrr_db, AcSweep, Circuit};
+use kato_mna::{phase_margin_deg, psrr_db, AcSweep, Circuit};
 
 /// Low-dropout (LDO) linear regulator — the registry's first non-amplifier
 /// scenario, modelled on the regulator benchmarks used by the broader
@@ -143,7 +143,6 @@ impl SizingProblem for Ldo {
         let (l_ea, w_ea, w_pass, ib_ea, cc, r_fb) = (p[0], p[1], p[2], p[3], p[4], p[5]);
         let node = &self.node;
         let vdd = node.vdd;
-        let temp = node.temp_c;
         let vout = self.vout_nominal();
         let beta = V_REF / vout;
         let l_pass = 2.0 * node.l_min;
@@ -151,13 +150,13 @@ impl SizingProblem for Ldo {
         // --- Error-amp operating point ------------------------------------
         let id_ea = ib_ea / 2.0;
         let vds_ea = vdd / 3.0;
-        let vgs_ea = TechNode::vgs_for_current_at(&node.nmos, w_ea, l_ea, vds_ea, id_ea, temp);
-        let (_, gm_ea, gds_ean) = mos_iv_public(&node.nmos, w_ea, l_ea, vgs_ea, vds_ea, temp);
+        let vgs_ea = node.vgs_for_id(&node.nmos, w_ea, l_ea, vds_ea, id_ea);
+        let (_, gm_ea, gds_ean) = node.mos_iv(&node.nmos, w_ea, l_ea, vgs_ea, vds_ea);
         // PMOS mirror load sized for V_ov ≈ 0.2 V at the same length.
         let wl_eap = 2.0 * node.pmos.n_sub * id_ea / (node.pmos.kp * 0.04);
         let w_eap = (wl_eap * l_ea).max(l_ea);
-        let vgs_eap = TechNode::vgs_for_current_at(&node.pmos, w_eap, l_ea, vds_ea, id_ea, temp);
-        let (_, _, gds_eap) = mos_iv_public(&node.pmos, w_eap, l_ea, vgs_eap, vds_ea, temp);
+        let vgs_eap = node.vgs_for_id(&node.pmos, w_eap, l_ea, vds_ea, id_ea);
+        let (_, _, gds_eap) = node.mos_iv(&node.pmos, w_eap, l_ea, vgs_eap, vds_ea);
         let r_ea = 1.0 / (gds_ean + gds_eap);
 
         // --- Pass-device operating point -----------------------------------
@@ -166,15 +165,14 @@ impl SizingProblem for Ldo {
         // saturation, the device is in dropout at the nominal point —
         // simulator failure, like the real regulator falling out of
         // regulation.
-        let vsg_p =
-            TechNode::vgs_for_current_at(&node.pmos, w_pass, l_pass, vdd - vout, I_LOAD, temp);
+        let vsg_p = node.vgs_for_id(&node.pmos, w_pass, l_pass, vdd - vout, I_LOAD);
         if vsg_p > vdd - 0.02 {
             return Self::failed();
         }
-        let (_, gm_p, gds_p) = mos_iv_public(&node.pmos, w_pass, l_pass, vsg_p, vdd - vout, temp);
+        let (_, gm_p, gds_p) = node.mos_iv(&node.pmos, w_pass, l_pass, vsg_p, vdd - vout);
 
         // Dropout: triode on-resistance at full gate drive (V_SG = VDD).
-        let (i_on, _, _) = mos_iv_public(&node.pmos, w_pass, l_pass, vdd, 0.05, temp);
+        let (i_on, _, _) = node.mos_iv(&node.pmos, w_pass, l_pass, vdd, 0.05);
         if i_on <= 0.0 {
             return Self::failed();
         }

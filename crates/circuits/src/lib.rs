@@ -47,8 +47,10 @@ mod opamp2;
 mod opamp3;
 mod problem;
 mod registry;
+mod switch;
 mod tech;
 mod telescopic;
+mod varactor;
 
 pub use bandgap::Bandgap;
 pub use corner::{Corner, Process};
@@ -61,5 +63,7 @@ pub use problem::{
     random_design, Goal, Metrics, OverriddenProblem, SizingProblem, Spec, SpecKind, VarSpec,
 };
 pub use registry::{Scenario, ScenarioError, ScenarioRegistry};
-pub use tech::TechNode;
+pub use switch::Switch;
+pub use tech::{Backend, TechNode};
 pub use telescopic::TelescopicOpAmp;
+pub use varactor::Varactor;

@@ -1,6 +1,6 @@
 use crate::problem::{Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
 use crate::tech::TechNode;
-use kato_mna::{mos_iv_public, phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
+use kato_mna::{phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
 
 /// Miller-compensated two-stage operational amplifier (paper Fig. 3a).
 ///
@@ -129,27 +129,26 @@ impl SizingProblem for TwoStageOpAmp {
             (p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7]);
         let node = &self.node;
         let vdd = node.vdd;
-        let temp = node.temp_c;
         let l2 = 2.0 * node.l_min;
 
         // --- Stage 1 operating point -----------------------------------
         let id1 = ib1 / 2.0;
         let vds1 = vdd / 3.0;
-        let vgs_in = TechNode::vgs_for_current_at(&node.pmos, w_in, l1, vds1, id1, temp);
-        let (_, gm1, gds_in) = mos_iv_public(&node.pmos, w_in, l1, vgs_in, vds1, temp);
-        let vgs_ld = TechNode::vgs_for_current_at(&node.nmos, w_load, l1, vds1, id1, temp);
-        let (_, _, gds_ld) = mos_iv_public(&node.nmos, w_load, l1, vgs_ld, vds1, temp);
+        let vgs_in = node.vgs_for_id(&node.pmos, w_in, l1, vds1, id1);
+        let (_, gm1, gds_in) = node.mos_iv(&node.pmos, w_in, l1, vgs_in, vds1);
+        let vgs_ld = node.vgs_for_id(&node.nmos, w_load, l1, vds1, id1);
+        let (_, _, gds_ld) = node.mos_iv(&node.nmos, w_load, l1, vgs_ld, vds1);
         let mut r1 = 1.0 / (gds_in + gds_ld);
 
         // --- Stage 2 operating point ------------------------------------
         let vds2 = vdd / 2.0;
-        let vgs2 = TechNode::vgs_for_current_at(&node.nmos, w2, l2, vds2, ib2, temp);
-        let (_, gm2, gds2) = mos_iv_public(&node.nmos, w2, l2, vgs2, vds2, temp);
+        let vgs2 = node.vgs_for_id(&node.nmos, w2, l2, vds2, ib2);
+        let (_, gm2, gds2) = node.mos_iv(&node.nmos, w2, l2, vgs2, vds2);
         // PMOS current-source load sized for V_ov ≈ 0.2 V.
         let wl_p2 = 2.0 * node.pmos.n_sub * ib2 / (node.pmos.kp * 0.04);
         let w_p2 = wl_p2 * l2;
-        let vgs_p2 = TechNode::vgs_for_current_at(&node.pmos, w_p2.max(l2), l2, vds2, ib2, temp);
-        let (_, _, gds_p2) = mos_iv_public(&node.pmos, w_p2.max(l2), l2, vgs_p2, vds2, temp);
+        let vgs_p2 = node.vgs_for_id(&node.pmos, w_p2.max(l2), l2, vds2, ib2);
+        let (_, _, gds_p2) = node.mos_iv(&node.pmos, w_p2.max(l2), l2, vgs_p2, vds2);
         let mut r2 = 1.0 / (gds2 + gds_p2);
 
         // --- Headroom feasibility (soft gain collapse) -------------------

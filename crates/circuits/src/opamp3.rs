@@ -1,6 +1,6 @@
 use crate::problem::{Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
 use crate::tech::TechNode;
-use kato_mna::{mos_iv_public, phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
+use kato_mna::{phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
 
 /// Nested-Miller-compensated three-stage operational amplifier
 /// (paper Fig. 3b).
@@ -121,39 +121,36 @@ impl SizingProblem for ThreeStageOpAmp {
             (p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7], p[8]);
         let node = &self.node;
         let vdd = node.vdd;
-        let temp = node.temp_c;
         let l23 = 2.0 * node.l_min;
 
         // Stage 1: PMOS diff pair, NMOS mirror load (length l1 for gain).
         let id1 = ib1 / 2.0;
         let vds1 = vdd / 3.0;
-        let vgs_in = TechNode::vgs_for_current_at(&node.pmos, w_in, l1, vds1, id1, temp);
-        let (_, gm1, gds_in) = mos_iv_public(&node.pmos, w_in, l1, vgs_in, vds1, temp);
+        let vgs_in = node.vgs_for_id(&node.pmos, w_in, l1, vds1, id1);
+        let (_, gm1, gds_in) = node.mos_iv(&node.pmos, w_in, l1, vgs_in, vds1);
         // Mirror load reuses the input-pair width (common practice).
-        let vgs_ld = TechNode::vgs_for_current_at(&node.nmos, w_in, l1, vds1, id1, temp);
-        let (_, _, gds_ld) = mos_iv_public(&node.nmos, w_in, l1, vgs_ld, vds1, temp);
+        let vgs_ld = node.vgs_for_id(&node.nmos, w_in, l1, vds1, id1);
+        let (_, _, gds_ld) = node.mos_iv(&node.nmos, w_in, l1, vgs_ld, vds1);
         let mut r1 = 1.0 / (gds_in + gds_ld);
 
         // Stage 2: NMOS common source, longer-than-minimum length for gain.
         let l_mid = (2.0 * l1).min(node.l_max);
         let vds2 = vdd / 2.0;
-        let vgs2 = TechNode::vgs_for_current_at(&node.nmos, w2, l_mid, vds2, ib2, temp);
-        let (_, gm2, gds2) = mos_iv_public(&node.nmos, w2, l_mid, vgs2, vds2, temp);
+        let vgs2 = node.vgs_for_id(&node.nmos, w2, l_mid, vds2, ib2);
+        let (_, gm2, gds2) = node.mos_iv(&node.nmos, w2, l_mid, vgs2, vds2);
         let wl_p = 2.0 * node.pmos.n_sub * ib2 / (node.pmos.kp * 0.04);
-        let vgs_p2 =
-            TechNode::vgs_for_current_at(&node.pmos, (wl_p * l23).max(l23), l23, vds2, ib2, temp);
-        let (_, _, gds_p2) =
-            mos_iv_public(&node.pmos, (wl_p * l23).max(l23), l23, vgs_p2, vds2, temp);
+        let vgs_p2 = node.vgs_for_id(&node.pmos, (wl_p * l23).max(l23), l23, vds2, ib2);
+        let (_, _, gds_p2) = node.mos_iv(&node.pmos, (wl_p * l23).max(l23), l23, vgs_p2, vds2);
         let mut r2 = 1.0 / (gds2 + gds_p2);
 
         // Stage 3: output NMOS common source.
         let vds3 = vdd / 2.0;
-        let vgs3 = TechNode::vgs_for_current_at(&node.nmos, w3, l23, vds3, ib3, temp);
-        let (_, gm3, gds3) = mos_iv_public(&node.nmos, w3, l23, vgs3, vds3, temp);
+        let vgs3 = node.vgs_for_id(&node.nmos, w3, l23, vds3, ib3);
+        let (_, gm3, gds3) = node.mos_iv(&node.nmos, w3, l23, vgs3, vds3);
         let wl_p3 = 2.0 * node.pmos.n_sub * ib3 / (node.pmos.kp * 0.04);
         let w_p3 = (wl_p3 * l23).max(l23);
-        let vgs_p3 = TechNode::vgs_for_current_at(&node.pmos, w_p3, l23, vds3, ib3, temp);
-        let (_, _, gds_p3) = mos_iv_public(&node.pmos, w_p3, l23, vgs_p3, vds3, temp);
+        let vgs_p3 = node.vgs_for_id(&node.pmos, w_p3, l23, vds3, ib3);
+        let (_, _, gds_p3) = node.mos_iv(&node.pmos, w_p3, l23, vgs_p3, vds3);
         let mut r3 = 1.0 / (gds3 + gds_p3);
 
         // Headroom soft-collapse.

@@ -212,6 +212,23 @@ pub trait SizingProblem: Send + Sync {
     /// Panics if `x.len() != self.dim()`.
     fn evaluate(&self, x: &[f64]) -> Metrics;
 
+    /// Evaluates a whole population of design vectors.
+    ///
+    /// The contract is strict: the result must be **bitwise identical** to
+    /// the scalar loop `xs.iter().map(|x| self.evaluate(x))`, in order —
+    /// batching is a throughput optimisation, never a semantic one. The
+    /// default implementation is exactly that loop; backends with cheaper
+    /// amortised population paths (shared device tables, vectorised
+    /// operating-point sweeps) may override it, and wrapper problems must
+    /// forward it so the optimisation survives composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `xs[i].len() != self.dim()`.
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Metrics> {
+        xs.iter().map(|x| self.evaluate(x)).collect()
+    }
+
     /// A competent fixed reference design (the "Human Expert" rows of paper
     /// Tables 1–2).
     fn expert_design(&self) -> Vec<f64>;
@@ -308,6 +325,11 @@ impl SizingProblem for OverriddenProblem {
     }
     fn evaluate(&self, x: &[f64]) -> Metrics {
         self.inner.evaluate(x)
+    }
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Metrics> {
+        // Forward so the inner problem's batched fast path survives the
+        // spec-override wrapper (overrides only change the spec table).
+        self.inner.evaluate_batch(xs)
     }
     fn expert_design(&self) -> Vec<f64> {
         self.inner.expert_design()
@@ -459,6 +481,20 @@ mod tests {
         let non_finite =
             OverriddenProblem::new(Box::new(FixedToy), &[("gain_db".to_string(), f64::NAN)]);
         assert!(non_finite.unwrap_err().contains("finite"));
+    }
+
+    #[test]
+    fn default_evaluate_batch_matches_scalar_loop() {
+        let xs: Vec<Vec<f64>> = vec![vec![0.1], vec![0.5], vec![0.9]];
+        let batch = FixedToy.evaluate_batch(&xs);
+        assert_eq!(batch.len(), xs.len());
+        for (x, m) in xs.iter().zip(&batch) {
+            assert_eq!(m, &FixedToy.evaluate(x));
+        }
+        // The override wrapper forwards batching to the inner problem.
+        let over =
+            OverriddenProblem::new(Box::new(FixedToy), &[("gain_db".to_string(), 80.0)]).unwrap();
+        assert_eq!(over.evaluate_batch(&xs), batch);
     }
 
     #[test]

@@ -9,8 +9,11 @@
 
 use crate::corner::Corner;
 use crate::problem::SizingProblem;
-use crate::tech::TechNode;
-use crate::{Bandgap, FoldedCascodeOpAmp, Ldo, TelescopicOpAmp, ThreeStageOpAmp, TwoStageOpAmp};
+use crate::tech::{Backend, TechNode};
+use crate::{
+    Bandgap, FoldedCascodeOpAmp, Ldo, Switch, TelescopicOpAmp, ThreeStageOpAmp, TwoStageOpAmp,
+    Varactor,
+};
 use std::fmt;
 
 /// Error returned by registry lookups and builds.
@@ -87,6 +90,10 @@ pub struct Scenario {
     pub default_tech: &'static str,
     /// PVT corners the scenario is swept over.
     pub corners: Vec<Corner>,
+    /// Device backend used when the caller does not select one. The op-amp
+    /// family defaults to the square-law reference; the device-level
+    /// `switch`/`varactor` families are LUT-native.
+    pub default_backend: Backend,
     build: fn(TechNode) -> Box<dyn SizingProblem>,
 }
 
@@ -108,11 +115,20 @@ impl Scenario {
             tech_names,
             default_tech,
             corners,
+            default_backend: Backend::SquareLaw,
             build,
         }
     }
 
-    /// Builds the problem on a named tech node at a corner.
+    /// This scenario with a different default device backend.
+    #[must_use]
+    pub fn with_default_backend(mut self, backend: Backend) -> Self {
+        self.default_backend = backend;
+        self
+    }
+
+    /// Builds the problem on a named tech node at a corner, on the
+    /// scenario's default backend.
     ///
     /// # Errors
     ///
@@ -122,6 +138,22 @@ impl Scenario {
         &self,
         tech: &str,
         corner: &Corner,
+    ) -> Result<Box<dyn SizingProblem>, ScenarioError> {
+        self.build_at(tech, corner, None)
+    }
+
+    /// Like [`Scenario::build`] with an explicit device backend; `None`
+    /// uses the scenario's [`Scenario::default_backend`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::UnknownTech`] when `tech` is not registered for
+    /// this scenario.
+    pub fn build_at(
+        &self,
+        tech: &str,
+        corner: &Corner,
+        backend: Option<Backend>,
     ) -> Result<Box<dyn SizingProblem>, ScenarioError> {
         if !self.tech_names.contains(&tech) {
             return Err(ScenarioError::UnknownTech {
@@ -135,6 +167,7 @@ impl Scenario {
             tech: tech.to_string(),
             available: self.tech_names.iter().map(ToString::to_string).collect(),
         })?;
+        let node = node.with_backend(backend.unwrap_or(self.default_backend));
         Ok((self.build)(node.at_corner(corner)))
     }
 
@@ -192,6 +225,7 @@ impl ScenarioRegistry {
                 tech_names: both,
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
+                default_backend: Backend::SquareLaw,
                 build: |node| Box::new(TwoStageOpAmp::new(node)),
             },
             Scenario {
@@ -200,6 +234,7 @@ impl ScenarioRegistry {
                 tech_names: both,
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
+                default_backend: Backend::SquareLaw,
                 build: |node| Box::new(ThreeStageOpAmp::new(node)),
             },
             Scenario {
@@ -211,6 +246,7 @@ impl ScenarioRegistry {
                 // already a −40…125 °C sweep internally, so ambient-
                 // temperature corners would just duplicate the TT rows.
                 corners: Corner::process_sweep(),
+                default_backend: Backend::SquareLaw,
                 build: |node| Box::new(Bandgap::new(node)),
             },
             Scenario {
@@ -219,6 +255,7 @@ impl ScenarioRegistry {
                 tech_names: both,
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
+                default_backend: Backend::SquareLaw,
                 build: |node| Box::new(FoldedCascodeOpAmp::new(node)),
             },
             Scenario {
@@ -227,6 +264,7 @@ impl ScenarioRegistry {
                 tech_names: both,
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
+                default_backend: Backend::SquareLaw,
                 build: |node| Box::new(TelescopicOpAmp::new(node)),
             },
             Scenario {
@@ -235,7 +273,29 @@ impl ScenarioRegistry {
                 tech_names: both,
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
+                default_backend: Backend::SquareLaw,
                 build: |node| Box::new(Ldo::new(node)),
+            },
+            // Device-level gm/ID-flow families: no AC macromodel, every
+            // metric is a direct device-backend query, so they run on the
+            // LUT backend by default.
+            Scenario {
+                name: "switch",
+                summary: "NMOS pass switch: min area s.t. Ron/Cgg (LUT-native)",
+                tech_names: both,
+                default_tech: "180nm",
+                corners: Corner::standard_sweep(),
+                default_backend: Backend::Lut,
+                build: |node| Box::new(Switch::new(node)),
+            },
+            Scenario {
+                name: "varactor",
+                summary: "MOS varactor: max C-tuning ratio s.t. Cmax/Q (LUT-native)",
+                tech_names: both,
+                default_tech: "180nm",
+                corners: Corner::standard_sweep(),
+                default_backend: Backend::Lut,
+                build: |node| Box::new(Varactor::new(node)),
             },
         ];
         ScenarioRegistry { scenarios }
@@ -295,12 +355,29 @@ impl ScenarioRegistry {
         tech: Option<&str>,
         corner: Option<&str>,
     ) -> Result<Box<dyn SizingProblem>, ScenarioError> {
+        self.build_with(name, tech, corner, None)
+    }
+
+    /// Like [`ScenarioRegistry::build`] with an explicit device backend
+    /// (`None` = the scenario's default).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScenarioError`] from the lookup, tech resolution or corner
+    /// parse.
+    pub fn build_with(
+        &self,
+        name: &str,
+        tech: Option<&str>,
+        corner: Option<&str>,
+        backend: Option<Backend>,
+    ) -> Result<Box<dyn SizingProblem>, ScenarioError> {
         let scenario = self.get(name)?;
         let corner = match corner {
             Some(c) => scenario.corner(c)?,
             None => Corner::tt(),
         };
-        scenario.build(tech.unwrap_or(scenario.default_tech), &corner)
+        scenario.build_at(tech.unwrap_or(scenario.default_tech), &corner, backend)
     }
 }
 

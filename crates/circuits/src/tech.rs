@@ -1,5 +1,42 @@
 use crate::corner::Corner;
-use kato_mna::MosModel;
+use kato_mna::device::{BiasPoint, VgsRequest};
+use kato_mna::{lut_for, DeviceError, DeviceModel, MosModel, SquareLaw};
+
+/// Which DC device-model backend a [`TechNode`] answers device queries
+/// with. Part of the node card (and therefore of serving cache keys): the
+/// same design evaluated under different backends yields different metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Closed-form EKV square-law model, evaluated directly. The historical
+    /// (and bitwise-reference) path.
+    #[default]
+    SquareLaw,
+    /// gm/ID lookup tables ([`kato_mna::DeviceLut`]) generated from the
+    /// closed-form model per `(model, temperature, length-range)` on first
+    /// use, trilinearly interpolated.
+    Lut,
+}
+
+impl Backend {
+    /// Parses the wire/CLI spelling (`"square_law"` or `"lut"`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "square_law" => Some(Backend::SquareLaw),
+            "lut" => Some(Backend::Lut),
+            _ => None,
+        }
+    }
+
+    /// The wire/CLI spelling of this backend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::SquareLaw => "square_law",
+            Backend::Lut => "lut",
+        }
+    }
+}
 
 /// Technology-node parameter card: the PDK substitute.
 ///
@@ -31,6 +68,8 @@ pub struct TechNode {
     /// Ambient temperature the testbenches evaluate at, °C. `27.0` on the
     /// nominal cards; [`TechNode::at_corner`] overrides it.
     pub temp_c: f64,
+    /// Device-model backend the testbenches evaluate with.
+    pub backend: Backend,
 }
 
 impl TechNode {
@@ -60,6 +99,7 @@ impl TechNode {
             l_max: 2.0e-6,
             c_load: 5e-12,
             temp_c: 27.0,
+            backend: Backend::SquareLaw,
         }
     }
 
@@ -89,6 +129,7 @@ impl TechNode {
             l_max: 0.6e-6,
             c_load: 5e-12,
             temp_c: 27.0,
+            backend: Backend::SquareLaw,
         }
     }
 
@@ -122,6 +163,101 @@ impl TechNode {
         }
     }
 
+    /// This card with a different device-model [`Backend`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The [`DeviceModel`] this card routes device queries of `model`
+    /// through (at the card's temperature). Mostly useful for backend-
+    /// generic code and tests; the hot paths use the direct
+    /// [`TechNode::mos_iv`] / [`TechNode::vgs_for_id`] methods below, which
+    /// avoid the allocation.
+    #[must_use]
+    pub fn device_model(&self, model: &MosModel) -> Box<dyn DeviceModel> {
+        match self.backend {
+            Backend::SquareLaw => Box::new(SquareLaw::new(*model, self.temp_c)),
+            Backend::Lut => Box::new((*self.lut(model)).clone()),
+        }
+    }
+
+    fn lut(&self, model: &MosModel) -> std::sync::Arc<kato_mna::DeviceLut> {
+        lut_for(model, self.temp_c, self.l_min, self.l_max)
+    }
+
+    /// Backend-routed `(id, gm, gds)` at bias `(vgs, vds)`, evaluated at
+    /// the card's temperature.
+    #[must_use]
+    pub fn mos_iv(&self, model: &MosModel, w: f64, l: f64, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        match self.backend {
+            Backend::SquareLaw => kato_mna::mos_iv_public(model, w, l, vgs, vds, self.temp_c),
+            Backend::Lut => self.lut(model).iv(w, l, vgs, vds),
+        }
+    }
+
+    /// Backend-routed batched `(id, gm, gds)` over a population of
+    /// `(w, l, vgs, vds)` bias points.
+    #[must_use]
+    pub fn mos_iv_batch(&self, model: &MosModel, points: &[BiasPoint]) -> Vec<(f64, f64, f64)> {
+        match self.backend {
+            Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).iv_batch(points),
+            Backend::Lut => self.lut(model).iv_batch(points),
+        }
+    }
+
+    /// Backend-routed total gate capacitance at gate bias `vgs`, F.
+    #[must_use]
+    pub fn mos_cgg(&self, model: &MosModel, w: f64, l: f64, vgs: f64) -> f64 {
+        match self.backend {
+            Backend::SquareLaw => kato_mna::mos_cgg(model, w, l, vgs, self.temp_c),
+            Backend::Lut => self.lut(model).cgg(w, l, vgs),
+        }
+    }
+
+    /// Backend-routed operating-point inversion: the `vgs` at which the
+    /// device carries `id_target`, clamped to the search bracket edge when
+    /// the target is unreachable (see [`TechNode::try_vgs_for_id`]).
+    #[must_use]
+    pub fn vgs_for_id(&self, model: &MosModel, w: f64, l: f64, vds: f64, id_target: f64) -> f64 {
+        match self.backend {
+            Backend::SquareLaw => {
+                SquareLaw::new(*model, self.temp_c).vgs_for_id(w, l, vds, id_target)
+            }
+            Backend::Lut => self.lut(model).vgs_for_id(w, l, vds, id_target),
+        }
+    }
+
+    /// Fallible [`TechNode::vgs_for_id`]: reports a [`DeviceError`] when no
+    /// `vgs` in the search bracket reaches `id_target`.
+    pub fn try_vgs_for_id(
+        &self,
+        model: &MosModel,
+        w: f64,
+        l: f64,
+        vds: f64,
+        id_target: f64,
+    ) -> Result<f64, DeviceError> {
+        match self.backend {
+            Backend::SquareLaw => {
+                SquareLaw::new(*model, self.temp_c).try_vgs_for_id(w, l, vds, id_target)
+            }
+            Backend::Lut => self.lut(model).try_vgs_for_id(w, l, vds, id_target),
+        }
+    }
+
+    /// Backend-routed batched operating-point inversion over
+    /// `(w, l, vds, id_target)` requests — a whole population swept through
+    /// the device model (for the LUT backend, through the grid) in one call.
+    #[must_use]
+    pub fn vgs_for_id_batch(&self, model: &MosModel, requests: &[VgsRequest]) -> Vec<f64> {
+        match self.backend {
+            Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).vgs_for_id_batch(requests),
+            Backend::Lut => self.lut(model).vgs_for_id_batch(requests),
+        }
+    }
+
     /// Strong-inversion overdrive voltage for a device carrying `id` amps at
     /// aspect ratio `w/l`: `V_ov = sqrt(2·n·Id/(KP·W/L))`.
     #[must_use]
@@ -141,6 +277,12 @@ impl TechNode {
     }
 
     /// Like [`TechNode::vgs_for_current`] at an explicit temperature.
+    ///
+    /// An unreachable `id_target` clamps to the bracket edge; use
+    /// [`TechNode::try_vgs_for_current_at`] to observe that as an error
+    /// instead. (For a too-high target the historical unchecked bisection
+    /// already converged to exactly the upper bracket bound, so clamping is
+    /// bitwise-compatible with the old behaviour.)
     #[must_use]
     pub fn vgs_for_current_at(
         model: &MosModel,
@@ -150,19 +292,21 @@ impl TechNode {
         id_target: f64,
         temp_c: f64,
     ) -> f64 {
-        // Bisection on the monotone Id(Vgs) curve.
-        let mut lo = 0.0;
-        let mut hi = 3.0;
-        for _ in 0..60 {
-            let mid = 0.5 * (lo + hi);
-            let (id, _, _) = kato_mna::mos_iv_public(model, w, l, mid, vds, temp_c);
-            if id < id_target {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        0.5 * (lo + hi)
+        SquareLaw::new(*model, temp_c).vgs_for_id(w, l, vds, id_target)
+    }
+
+    /// Fallible [`TechNode::vgs_for_current_at`]: reports a clean
+    /// [`DeviceError`] when `id_target` is unreachable inside the bisection
+    /// bracket (above the device's maximum current, or below its leakage).
+    pub fn try_vgs_for_current_at(
+        model: &MosModel,
+        w: f64,
+        l: f64,
+        vds: f64,
+        id_target: f64,
+        temp_c: f64,
+    ) -> Result<f64, DeviceError> {
+        SquareLaw::new(*model, temp_c).try_vgs_for_id(w, l, vds, id_target)
     }
 }
 
@@ -208,6 +352,74 @@ mod tests {
         assert_eq!(TechNode::by_name("180nm").unwrap().name, "180nm");
         assert_eq!(TechNode::by_name("40nm").unwrap().name, "40nm");
         assert!(TechNode::by_name("7nm").is_none());
+    }
+
+    #[test]
+    fn unreachable_vgs_inversion_errors_cleanly_and_clamps() {
+        let n = TechNode::n180();
+        // 1 A through a tiny device: unreachable even at vgs = 3 V.
+        let err = TechNode::try_vgs_for_current_at(&n.nmos, 1e-6, 1e-6, 0.9, 1.0, 27.0)
+            .expect_err("1 A must be unreachable");
+        assert!(matches!(err, DeviceError::TargetAboveRange { .. }));
+        assert!(!err.to_string().is_empty());
+        // The infallible path clamps to the bracket edge — which is also
+        // what the historical unchecked bisection converged to.
+        let vgs = TechNode::vgs_for_current_at(&n.nmos, 1e-6, 1e-6, 0.9, 1.0, 27.0);
+        assert_eq!(vgs, 3.0);
+        // A target below leakage clamps to 0 V.
+        let err = TechNode::try_vgs_for_current_at(&n.nmos, 1e-6, 1e-6, 0.9, 1e-30, 27.0)
+            .expect_err("below leakage");
+        assert!(matches!(err, DeviceError::TargetBelowRange { .. }));
+        assert_eq!(
+            TechNode::vgs_for_current_at(&n.nmos, 1e-6, 1e-6, 0.9, 1e-30, 27.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn backend_parses_and_defaults_to_square_law() {
+        assert_eq!(Backend::parse("square_law"), Some(Backend::SquareLaw));
+        assert_eq!(Backend::parse("lut"), Some(Backend::Lut));
+        assert_eq!(Backend::parse("spice"), None);
+        assert_eq!(Backend::default().name(), "square_law");
+        let n = TechNode::n180();
+        assert_eq!(n.backend, Backend::SquareLaw);
+        let lut = n.clone().with_backend(Backend::Lut);
+        assert_eq!(lut.backend, Backend::Lut);
+        assert_ne!(lut, n);
+        // Corner shifts preserve the selected backend.
+        assert_eq!(
+            lut.at_corner(&Corner::new(crate::Process::Ss, 125.0))
+                .backend,
+            Backend::Lut
+        );
+    }
+
+    #[test]
+    fn lut_backend_tracks_square_law_closely() {
+        let sq = TechNode::n180();
+        let lut = sq.clone().with_backend(Backend::Lut);
+        let (w, l, vds) = (20e-6, 0.5e-6, 0.9);
+        for vgs in [0.4, 0.65, 0.9, 1.2] {
+            let (id_s, gm_s, gds_s) = sq.mos_iv(&sq.nmos, w, l, vgs, vds);
+            let (id_l, gm_l, gds_l) = lut.mos_iv(&lut.nmos, w, l, vgs, vds);
+            assert!(
+                (id_l - id_s).abs() <= 0.05 * id_s.abs() + 1e-9,
+                "id @ {vgs}"
+            );
+            assert!(
+                (gm_l - gm_s).abs() <= 0.05 * gm_s.abs() + 1e-9,
+                "gm @ {vgs}"
+            );
+            assert!(
+                (gds_l - gds_s).abs() <= 0.08 * gds_s.abs() + 1e-9,
+                "gds @ {vgs}"
+            );
+        }
+        // Inversion consistency: the LUT's vgs-for-id answers its own iv.
+        let vgs = lut.vgs_for_id(&lut.nmos, w, l, vds, 50e-6);
+        let (id, _, _) = lut.mos_iv(&lut.nmos, w, l, vgs, vds);
+        assert!((id - 50e-6).abs() / 50e-6 < 1e-6, "lut id {id:.3e}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::problem::{Goal, Metrics, SizingProblem, Spec, SpecKind, VarSpec};
 use crate::tech::TechNode;
-use kato_mna::{mos_iv_public, phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
+use kato_mna::{phase_margin_deg, unity_gain_freq, AcSweep, Circuit};
 
 /// Single-stage telescopic-cascode OTA.
 ///
@@ -115,19 +115,18 @@ impl SizingProblem for TelescopicOpAmp {
         let (l1, w_in, w_cas, w_pcas, ib_tail) = (p[0], p[1], p[2], p[3], p[4]);
         let node = &self.node;
         let vdd = node.vdd;
-        let temp = node.temp_c;
         let id = ib_tail / 2.0;
 
         // --- Operating points (one branch, five-device stack) ------------
         let vds_mid = vdd / 5.0;
-        let vgs_in = TechNode::vgs_for_current_at(&node.nmos, w_in, l1, vds_mid, id, temp);
-        let (_, gm_in, gds_in) = mos_iv_public(&node.nmos, w_in, l1, vgs_in, vds_mid, temp);
+        let vgs_in = node.vgs_for_id(&node.nmos, w_in, l1, vds_mid, id);
+        let (_, gm_in, gds_in) = node.mos_iv(&node.nmos, w_in, l1, vgs_in, vds_mid);
 
-        let vgs_c = TechNode::vgs_for_current_at(&node.nmos, w_cas, l1, vds_mid, id, temp);
-        let (_, gm_c, gds_c) = mos_iv_public(&node.nmos, w_cas, l1, vgs_c, vds_mid, temp);
+        let vgs_c = node.vgs_for_id(&node.nmos, w_cas, l1, vds_mid, id);
+        let (_, gm_c, gds_c) = node.mos_iv(&node.nmos, w_cas, l1, vgs_c, vds_mid);
 
-        let vgs_p = TechNode::vgs_for_current_at(&node.pmos, w_pcas, l1, vds_mid, id, temp);
-        let (_, gm_p, gds_p) = mos_iv_public(&node.pmos, w_pcas, l1, vgs_p, vds_mid, temp);
+        let vgs_p = node.vgs_for_id(&node.pmos, w_pcas, l1, vds_mid, id);
+        let (_, gm_p, gds_p) = node.mos_iv(&node.pmos, w_pcas, l1, vgs_p, vds_mid);
 
         // --- Output resistance: cascode boost on both stacks -------------
         let ro_down = (gm_c / gds_c) * (1.0 / gds_in);

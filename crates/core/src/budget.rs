@@ -18,8 +18,11 @@ use std::time::{Duration, Instant};
 /// Limits a run may not exceed, all optional and combinable.
 ///
 /// An empty (default) budget never trips. The checks are cheap — one
-/// `Instant::now()` and two loads — and are evaluated between simulations,
-/// so the granularity of cancellation is one simulator call.
+/// `Instant::now()` and two loads — and are evaluated between evaluation
+/// batches, so the granularity of deadline/cancel cancellation is one
+/// proposal batch; the simulation cap additionally clamps each batch via
+/// [`RunBudget::remaining_sims`] and is therefore still exact to the
+/// simulation.
 #[derive(Debug, Clone, Default)]
 pub struct RunBudget {
     /// Wall-clock instant after which no further simulation starts.
@@ -62,6 +65,16 @@ impl RunBudget {
         self
     }
 
+    /// Number of further simulations the cap still allows after
+    /// `sims_done`, or `None` when no cap is attached. Batched evaluation
+    /// clamps each population to this allowance so a capped run records
+    /// *exactly* the capped count, same as the scalar per-simulation
+    /// check did.
+    #[must_use]
+    pub fn remaining_sims(&self, sims_done: usize) -> Option<usize> {
+        self.sim_cap.map(|cap| cap.saturating_sub(sims_done))
+    }
+
     /// `true` once any attached limit is hit, given the number of
     /// simulations recorded so far.
     #[must_use]
@@ -102,6 +115,15 @@ mod tests {
         assert!(!b.exhausted(4));
         assert!(b.exhausted(5));
         assert!(b.exhausted(6));
+    }
+
+    #[test]
+    fn remaining_sims_tracks_the_cap() {
+        let b = RunBudget::unlimited().with_sim_cap(5);
+        assert_eq!(b.remaining_sims(0), Some(5));
+        assert_eq!(b.remaining_sims(3), Some(2));
+        assert_eq!(b.remaining_sims(9), Some(0));
+        assert_eq!(RunBudget::unlimited().remaining_sims(3), None);
     }
 
     #[test]

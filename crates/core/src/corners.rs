@@ -13,7 +13,7 @@
 //!   across-corner robustness (`kato run <scenario> --corner worst`).
 
 use kato_circuits::{
-    Corner, Goal, Metrics, Scenario, ScenarioError, SizingProblem, Spec, SpecKind, VarSpec,
+    Backend, Corner, Goal, Metrics, Scenario, ScenarioError, SizingProblem, Spec, SpecKind, VarSpec,
 };
 
 /// One corner's re-evaluation of a fixed design.
@@ -43,19 +43,49 @@ pub fn corner_audit(
     tech: &str,
     x: &[f64],
 ) -> Result<Vec<CornerEval>, ScenarioError> {
-    let mut out = Vec::with_capacity(scenario.corners.len());
+    corner_audit_at(scenario, tech, x, None)
+}
+
+/// [`corner_audit`] with an explicit device backend (`None` = the
+/// scenario's default). The corner instances are independent and
+/// deterministic, so the design×corner sweep fans out over the `kato_par`
+/// pool (order-preserving; identical result at any `KATO_THREADS`).
+///
+/// # Errors
+///
+/// Propagates [`ScenarioError`] when `tech` is not registered for the
+/// scenario.
+///
+/// # Panics
+///
+/// Panics (inside the problem) if `x.len()` does not match the scenario's
+/// dimensionality.
+pub fn corner_audit_at(
+    scenario: &Scenario,
+    tech: &str,
+    x: &[f64],
+    backend: Option<Backend>,
+) -> Result<Vec<CornerEval>, ScenarioError> {
+    let mut problems = Vec::with_capacity(scenario.corners.len());
     for corner in &scenario.corners {
-        let problem = scenario.build(tech, corner)?;
-        let metrics = problem.evaluate(x);
-        let feasible =
-            metrics.values().iter().all(|v| v.is_finite()) && metrics.feasible(problem.specs());
-        out.push(CornerEval {
-            corner: *corner,
-            metrics,
-            feasible,
-        });
+        problems.push(scenario.build_at(tech, corner, backend)?);
     }
-    Ok(out)
+    let per_corner = kato_par::par_map(&problems, |p| p.evaluate(x));
+    Ok(scenario
+        .corners
+        .iter()
+        .zip(problems.iter())
+        .zip(per_corner)
+        .map(|((corner, problem), metrics)| {
+            let feasible =
+                metrics.values().iter().all(|v| v.is_finite()) && metrics.feasible(problem.specs());
+            CornerEval {
+                corner: *corner,
+                metrics,
+                feasible,
+            }
+        })
+        .collect())
 }
 
 /// A sizing problem that scores each design by its **worst corner**.
@@ -83,6 +113,21 @@ impl WorstCaseProblem {
     /// Propagates [`ScenarioError`] for an unknown tech node; rejects
     /// scenarios with an empty corner list.
     pub fn new(scenario: &Scenario, tech: &str) -> Result<Self, ScenarioError> {
+        Self::with_backend(scenario, tech, None)
+    }
+
+    /// Like [`WorstCaseProblem::new`] with an explicit device backend for
+    /// every corner instance (`None` = the scenario's default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError`] for an unknown tech node; rejects
+    /// scenarios with an empty corner sweep.
+    pub fn with_backend(
+        scenario: &Scenario,
+        tech: &str,
+        backend: Option<Backend>,
+    ) -> Result<Self, ScenarioError> {
         if scenario.corners.is_empty() {
             return Err(ScenarioError::BadCorner {
                 scenario: scenario.name.to_string(),
@@ -91,7 +136,7 @@ impl WorstCaseProblem {
         }
         let mut problems = Vec::with_capacity(scenario.corners.len());
         for corner in &scenario.corners {
-            problems.push(scenario.build(tech, corner)?);
+            problems.push(scenario.build_at(tech, corner, backend)?);
         }
         Ok(WorstCaseProblem {
             name: format!("{}_worstcase", problems[0].name()),
@@ -114,30 +159,11 @@ impl WorstCaseProblem {
                 )
         })
     }
-}
 
-impl SizingProblem for WorstCaseProblem {
-    fn name(&self) -> String {
-        self.name.clone()
-    }
-
-    fn variables(&self) -> &[VarSpec] {
-        self.problems[0].variables()
-    }
-
-    fn metric_names(&self) -> &[&'static str] {
-        self.problems[0].metric_names()
-    }
-
-    fn specs(&self) -> &[Spec] {
-        self.problems[0].specs()
-    }
-
-    fn evaluate(&self, x: &[f64]) -> Metrics {
-        // The corner instances are independent and deterministic, so they
-        // fan out over the kato_par pool (order-preserving; identical
-        // result at any KATO_THREADS).
-        let per_corner: Vec<Metrics> = kato_par::par_map(&self.problems, |p| p.evaluate(x));
+    /// Folds one design's per-corner metric vectors into the synthetic
+    /// worst-case vector — the shared tail of the scalar and batched
+    /// evaluation paths.
+    fn fold_worst(&self, per_corner: &[&Metrics]) -> Metrics {
         let n = self.metric_names().len();
         let mut worst = Vec::with_capacity(n);
         for j in 0..n {
@@ -165,6 +191,50 @@ impl SizingProblem for WorstCaseProblem {
             worst.push(v);
         }
         Metrics::new(worst)
+    }
+}
+
+impl SizingProblem for WorstCaseProblem {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn variables(&self) -> &[VarSpec] {
+        self.problems[0].variables()
+    }
+
+    fn metric_names(&self) -> &[&'static str] {
+        self.problems[0].metric_names()
+    }
+
+    fn specs(&self) -> &[Spec] {
+        self.problems[0].specs()
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Metrics {
+        // The corner instances are independent and deterministic, so they
+        // fan out over the kato_par pool (order-preserving; identical
+        // result at any KATO_THREADS).
+        let per_corner: Vec<Metrics> = kato_par::par_map(&self.problems, |p| p.evaluate(x));
+        let refs: Vec<&Metrics> = per_corner.iter().collect();
+        self.fold_worst(&refs)
+    }
+
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Metrics> {
+        // The whole candidate×corner grid is one fan-out: each corner
+        // instance evaluates the full population through its own batch
+        // path, then the per-candidate worst-case fold runs over the
+        // corner-major results. Bitwise identical to the scalar loop —
+        // each inner `evaluate_batch` is contractually identical to its
+        // scalar loop, and the fold is the same code.
+        let per_corner: Vec<Vec<Metrics>> =
+            kato_par::par_map(&self.problems, |p| p.evaluate_batch(xs));
+        (0..xs.len())
+            .map(|i| {
+                let row: Vec<&Metrics> = per_corner.iter().map(|c| &c[i]).collect();
+                self.fold_worst(&row)
+            })
+            .collect()
     }
 
     fn expert_design(&self) -> Vec<f64> {
@@ -292,6 +362,42 @@ mod tests {
         assert_eq!(m.get(0), f64::NEG_INFINITY, "{m}");
         assert_eq!(m.get(1), f64::NEG_INFINITY, "{m}");
         assert!(!m.feasible(wc.specs()));
+    }
+
+    #[test]
+    fn worst_case_batch_is_bitwise_identical_to_scalar_loop() {
+        let reg = ScenarioRegistry::standard();
+        for name in ["opamp2", "switch"] {
+            let s = reg.get(name).unwrap();
+            let wc = WorstCaseProblem::new(s, "180nm").unwrap();
+            let xs: Vec<Vec<f64>> = (0..7)
+                .map(|i| {
+                    (0..wc.dim())
+                        .map(|j| ((i * 13 + j * 5) % 10) as f64 / 10.0)
+                        .collect()
+                })
+                .collect();
+            let scalar: Vec<Metrics> = xs.iter().map(|x| wc.evaluate(x)).collect();
+            assert_eq!(wc.evaluate_batch(&xs), scalar, "{name}");
+        }
+    }
+
+    #[test]
+    fn backend_aware_audit_and_worst_case() {
+        use kato_circuits::Backend;
+        let reg = ScenarioRegistry::standard();
+        let s = reg.get("switch").unwrap();
+        let x = s.build_default().expert_design();
+        // The switch defaults to the LUT backend; forcing square-law gives
+        // a (slightly) different but still feasible nominal audit.
+        let lut = corner_audit_at(s, "180nm", &x, None).unwrap();
+        let sq = corner_audit_at(s, "180nm", &x, Some(Backend::SquareLaw)).unwrap();
+        assert_eq!(lut.len(), sq.len());
+        assert!(lut[0].feasible && sq[0].feasible);
+        assert_ne!(lut[0].metrics, sq[0].metrics);
+        let wc_lut = WorstCaseProblem::with_backend(s, "180nm", None).unwrap();
+        let wc_sq = WorstCaseProblem::with_backend(s, "180nm", Some(Backend::SquareLaw)).unwrap();
+        assert_ne!(wc_lut.evaluate(&x), wc_sq.evaluate(&x));
     }
 
     #[test]

@@ -56,6 +56,41 @@ impl RunHistory {
         x: Vec<f64>,
     ) -> f64 {
         let metrics = problem.evaluate(&x);
+        self.push_evaluated(problem, mode, x, metrics)
+    }
+
+    /// Evaluates a whole population through the problem's batch path
+    /// (sharded over the `kato_par` pool, see
+    /// [`crate::evaluate_batch_sharded`]), records every design in input
+    /// order and returns the per-design scores.
+    ///
+    /// Because `evaluate_batch` is contractually bitwise-identical to the
+    /// scalar loop, the recorded trace is exactly what `xs.len()` calls to
+    /// [`RunHistory::evaluate_and_push`] would have produced — at any
+    /// thread count.
+    pub fn evaluate_and_push_batch(
+        &mut self,
+        problem: &dyn SizingProblem,
+        mode: &Mode,
+        xs: Vec<Vec<f64>>,
+    ) -> Vec<f64> {
+        let metrics = crate::evaluate_batch_sharded(problem, &xs);
+        xs.into_iter()
+            .zip(metrics)
+            .map(|(x, m)| self.push_evaluated(problem, mode, x, m))
+            .collect()
+    }
+
+    /// Scores already-computed `metrics` for design `x` under `mode`,
+    /// records the pair and returns the score — the shared tail of the
+    /// scalar and batched evaluation entry points.
+    pub fn push_evaluated(
+        &mut self,
+        problem: &dyn SizingProblem,
+        mode: &Mode,
+        x: Vec<f64>,
+        metrics: Metrics,
+    ) -> f64 {
         let clean = metrics.values().iter().all(|v| v.is_finite());
         let feasible = clean && metrics.feasible(problem.specs());
         let score = match mode {
@@ -279,6 +314,27 @@ mod tests {
         let s = hf.evaluate_and_push(&toy, &Mode::Fom(fom), vec![0.2]);
         assert!(s == f64::NEG_INFINITY || s.is_finite());
         assert!(!s.is_nan());
+    }
+
+    #[test]
+    fn batch_push_matches_scalar_pushes() {
+        let toy = Toy::new();
+        let xs = vec![vec![0.8], vec![0.3], vec![0.45]];
+        let mut scalar = RunHistory::new("toy", "t", 0);
+        let s_scores: Vec<f64> = xs
+            .iter()
+            .map(|x| scalar.evaluate_and_push(&toy, &Mode::Constrained, x.clone()))
+            .collect();
+        let mut batched = RunHistory::new("toy", "t", 0);
+        let b_scores = batched.evaluate_and_push_batch(&toy, &Mode::Constrained, xs);
+        assert_eq!(s_scores, b_scores);
+        assert_eq!(scalar.len(), batched.len());
+        for (a, b) in scalar.evals.iter().zip(&batched.evals) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.feasible, b.feasible);
+            assert_eq!(a.score, b.score);
+        }
     }
 
     #[test]

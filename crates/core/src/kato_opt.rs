@@ -26,13 +26,10 @@ impl SourceData {
     #[must_use]
     pub fn from_problem_random(problem: &dyn SizingProblem, n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut xs = Vec::with_capacity(n);
-        let mut metrics: Vec<Metrics> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let x = random_design(problem.dim(), &mut rng);
-            metrics.push(problem.evaluate(&x));
-            xs.push(x);
-        }
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| random_design(problem.dim(), &mut rng))
+            .collect();
+        let metrics = crate::evaluate_batch_sharded(problem, &xs);
         let refs: Vec<&Metrics> = metrics.iter().collect();
         SourceData {
             dim: problem.dim(),
@@ -74,13 +71,13 @@ impl SourceData {
         seed: u64,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut xs = Vec::with_capacity(n);
-        let mut values = Vec::with_capacity(n);
-        for _ in 0..n {
-            let x = random_design(problem.dim(), &mut rng);
-            values.push(fom.fom(&problem.evaluate(&x)));
-            xs.push(x);
-        }
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| random_design(problem.dim(), &mut rng))
+            .collect();
+        let values: Vec<f64> = crate::evaluate_batch_sharded(problem, &xs)
+            .iter()
+            .map(|m| fom.fom(m))
+            .collect();
         SourceData {
             dim: problem.dim(),
             xs,
@@ -122,10 +119,11 @@ impl Kato {
     }
 
     /// Attaches a cooperative [`RunBudget`]: deadline, simulation cap
-    /// and/or cancel flag, checked before every simulation. A run whose
-    /// budget trips returns the best-so-far history early (fewer
-    /// evaluations than `settings.budget`) instead of hanging — the
-    /// *degraded* outcome serving layers report to callers.
+    /// and/or cancel flag, checked before every evaluation batch (and the
+    /// cap additionally clamps each batch, so a capped run records exactly
+    /// the capped count). A run whose budget trips returns the best-so-far
+    /// history early (fewer evaluations than `settings.budget`) instead of
+    /// hanging — the *degraded* outcome serving layers report to callers.
     #[must_use]
     pub fn with_run_budget(mut self, budget: RunBudget) -> Self {
         self.run_budget = Some(budget);
@@ -138,6 +136,18 @@ impl Kato {
         self.run_budget
             .as_ref()
             .is_some_and(|b| b.exhausted(sims_done))
+    }
+
+    /// Clamps a desired batch size to the attached simulation cap (if any).
+    fn clamp_to_allowance(&self, take: usize, sims_done: usize) -> usize {
+        match self
+            .run_budget
+            .as_ref()
+            .and_then(|b| b.remaining_sims(sims_done))
+        {
+            Some(allow) => take.min(allow),
+            None => take,
+        }
     }
 
     /// Attaches a source archive, enabling KAT-GP + STL.
@@ -170,11 +180,25 @@ impl Kato {
         let s = &self.settings;
         let mut history = RunHistory::new(&problem.name(), &self.label, s.seed);
         let mut rng = StdRng::seed_from_u64(s.seed);
-        for _ in 0..s.n_init.min(s.budget) {
+        // Random init as one population: drawing every design up front
+        // consumes the RNG in exactly the order the scalar loop did
+        // (evaluation never touches the stream), and the batch path is
+        // bitwise-identical to per-design evaluation, so seeded traces are
+        // unchanged.
+        let n_init = s.n_init.min(s.budget);
+        if n_init > 0 {
             if self.budget_exhausted(history.len()) {
                 return history;
             }
-            history.evaluate_and_push(problem, &mode, random_design(problem.dim(), &mut rng));
+            let take = self.clamp_to_allowance(n_init, history.len());
+            let designs: Vec<Vec<f64>> = (0..take)
+                .map(|_| random_design(problem.dim(), &mut rng))
+                .collect();
+            history.evaluate_and_push_batch(problem, &mode, designs);
+            if take < n_init {
+                // The sim cap truncated the init population: exhausted.
+                return history;
+            }
         }
         self.resume_with_rng(problem, mode, history, rng)
     }
@@ -308,18 +332,23 @@ impl Kato {
                 MaceProposer::sample_batch(&front, count, &mut prop_rng)
             });
 
-            // Simulate and update STL weights (Eq. 14).
+            // Simulate and update STL weights (Eq. 14). Each proposer's
+            // designs go through the batched evaluation path in one
+            // population (sharded over the pool); the settings budget and
+            // any sim cap clamp the batch, so a capped run still records
+            // exactly the capped count.
             let incumbent_before = history.incumbent();
             for (i, batch) in batches.iter().enumerate() {
                 let mut improvements = 0;
-                for x in batch {
-                    if history.len() >= s.budget || self.budget_exhausted(history.len()) {
-                        break;
-                    }
-                    let score = history.evaluate_and_push(problem, &mode, x.clone());
-                    if score > incumbent_before && score > f64::NEG_INFINITY {
-                        improvements += 1;
-                    }
+                let mut take = batch.len().min(s.budget.saturating_sub(history.len()));
+                take = self.clamp_to_allowance(take, history.len());
+                if take > 0 && !self.budget_exhausted(history.len()) {
+                    let scores =
+                        history.evaluate_and_push_batch(problem, &mode, batch[..take].to_vec());
+                    improvements = scores
+                        .iter()
+                        .filter(|&&sc| sc > incumbent_before && sc > f64::NEG_INFINITY)
+                        .count();
                 }
                 weights.reward(i, improvements);
             }
@@ -456,11 +485,24 @@ pub(crate) fn fill_random(
     run_budget: Option<&RunBudget>,
     rng: &mut StdRng,
 ) -> RunHistory {
+    // Batched in proposal-batch-sized chunks: big enough to amortise the
+    // pool fan-out, small enough that deadline/cancel checks stay frequent.
+    let chunk = settings.batch.max(1);
     while history.len() < settings.budget {
         if run_budget.is_some_and(|b| b.exhausted(history.len())) {
             break;
         }
-        history.evaluate_and_push(problem, mode, random_design(problem.dim(), rng));
+        let mut take = chunk.min(settings.budget - history.len());
+        if let Some(allow) = run_budget.and_then(|b| b.remaining_sims(history.len())) {
+            take = take.min(allow);
+        }
+        if take == 0 {
+            break;
+        }
+        let designs: Vec<Vec<f64>> = (0..take)
+            .map(|_| random_design(problem.dim(), rng))
+            .collect();
+        history.evaluate_and_push_batch(problem, mode, designs);
     }
     history
 }

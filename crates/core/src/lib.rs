@@ -35,6 +35,7 @@
 
 pub mod acquisition;
 pub mod baselines;
+mod batch;
 mod budget;
 pub mod corners;
 mod history;
@@ -45,10 +46,11 @@ pub mod sampling;
 mod settings;
 pub mod stl;
 
+pub use batch::evaluate_batch_sharded;
 pub use budget::RunBudget;
 // The incremental-fit surface the per-iteration model updates go through;
 // re-exported so optimiser-level callers need only this crate root.
-pub use corners::{corner_audit, CornerEval, WorstCaseProblem};
+pub use corners::{corner_audit, corner_audit_at, CornerEval, WorstCaseProblem};
 pub use history::{EvalRecord, RunHistory};
 pub use kato_gp::{update_incremental, IncrementalFit};
 pub use kato_opt::{Kato, SourceData};

@@ -1,6 +1,6 @@
 use crate::{GpError, KernelSpec, Scaler};
 use kato_autodiff::{clip_gradients, Adam, Tape};
-use kato_linalg::{Cholesky, Matrix};
+use kato_linalg::{CholeskyFactor, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -72,7 +72,7 @@ pub struct Gp {
     xs: Vec<Vec<f64>>,
     /// Standardised training targets.
     ys: Vec<f64>,
-    chol: Cholesky,
+    chol: CholeskyFactor,
     alpha: Vec<f64>,
     log_lik: f64,
     /// Per-point training log-likelihood achieved at the last actual
@@ -117,7 +117,7 @@ impl Gp {
             y_scaler: Scaler::fit_scalar(y),
             xs: Vec::new(),
             ys: Vec::new(),
-            chol: Cholesky::new(&Matrix::identity(1))?,
+            chol: CholeskyFactor::new(&Matrix::identity(1))?,
             alpha: Vec::new(),
             log_lik: f64::NEG_INFINITY,
             ll_per_point: f64::NEG_INFINITY,
@@ -363,7 +363,7 @@ impl Gp {
         for _ in 0..config.train_iters {
             // 1. Plain-f64 Gram, Cholesky, alpha, inverse.
             let k = self.gram(&pts);
-            let Ok(chol) = Cholesky::new(&k) else {
+            let Ok(chol) = CholeskyFactor::new(&k) else {
                 // Escalate noise and keep going.
                 self.log_noise += 0.5;
                 continue;
@@ -431,7 +431,7 @@ impl Gp {
     fn condition(&mut self) -> Result<(), GpError> {
         for _ in 0..6 {
             let k = self.gram(&self.xs);
-            match Cholesky::new(&k) {
+            match CholeskyFactor::new(&k) {
                 Ok(chol) => {
                     self.alpha = chol.solve(&self.ys);
                     self.chol = chol;
@@ -795,7 +795,7 @@ mod tests {
         let loglik = |p: &[f64]| -> f64 {
             let mut k = Matrix::from_fn(3, 3, |i, j| kernel.eval(p, &xs[i], &xs[j]));
             k.add_diagonal(noise2);
-            let chol = Cholesky::new(&k).unwrap();
+            let chol = CholeskyFactor::new(&k).unwrap();
             let alpha = chol.solve(&ys);
             -0.5 * kato_linalg::dot(&ys, &alpha)
                 - 0.5 * chol.log_det()
@@ -805,7 +805,7 @@ mod tests {
         // Analytic gradient via B-matrix seeds.
         let mut k = Matrix::from_fn(3, 3, |i, j| kernel.eval(&params, &xs[i], &xs[j]));
         k.add_diagonal(noise2);
-        let chol = Cholesky::new(&k).unwrap();
+        let chol = CholeskyFactor::new(&k).unwrap();
         let alpha = chol.solve(&ys);
         let kinv = chol.inverse();
         let tape = Tape::new();

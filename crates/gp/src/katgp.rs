@@ -1,6 +1,6 @@
 use crate::{Gp, GpError, KernelSpec, MlpSpec, Scaler};
 use kato_autodiff::{clip_gradients, Adam, Scalar, Tape};
-use kato_linalg::Cholesky;
+use kato_linalg::CholeskyFactor;
 use kato_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -180,7 +180,7 @@ pub struct KatGp {
     kernel_params: Vec<f64>,
     xs_src: Vec<Vec<f64>>,
     alpha_src: Vec<f64>,
-    chol_src: Cholesky,
+    chol_src: CholeskyFactor,
     // Trainable alignment.
     encoder: MlpSpec,
     enc_params: Vec<f64>,
@@ -246,7 +246,7 @@ impl KatGp {
         let kernel = source.kernel().clone();
         let mut gram = Matrix::from_fn(m, m, |i, j| kernel.eval(&kp, &xs_src[i], &xs_src[j]));
         gram.add_diagonal(source.noise_variance().max(1e-8) + 1e-9);
-        let chol_src = Cholesky::new(&gram)?;
+        let chol_src = CholeskyFactor::new(&gram)?;
         let alpha_src = chol_src.solve(&ys_src);
 
         let encoder = MlpSpec::kat(target_dim, kernel.input_dim());
@@ -674,7 +674,7 @@ impl KatGp {
     ///
     /// Encoding and kernel cross-rows fan out over the [`kato_par`] pool
     /// (with per-point features hoisted via
-    /// [`crate::KernelSpec::prepare`]), then the frozen source Cholesky is
+    /// [`crate::KernelSpec::prepare`]), then the frozen source Cholesky factor is
     /// applied to all queries in one batched triangular solve before the
     /// Delta-method decode. Agrees with the point-wise path to
     /// floating-point re-association error (≪ 1e-10).

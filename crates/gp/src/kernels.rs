@@ -484,7 +484,7 @@ impl NeukSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kato_linalg::{Cholesky, Matrix};
+    use kato_linalg::{CholeskyFactor, Matrix};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -588,7 +588,7 @@ mod tests {
             let mut g = gram(&spec, &params, &xs);
             g.add_diagonal(1e-8);
             assert!(
-                Cholesky::new(&g).is_ok(),
+                CholeskyFactor::new(&g).is_ok(),
                 "Neuk gram not PD for seed {seed}"
             );
         }
@@ -602,7 +602,7 @@ mod tests {
         let xs = random_points(25, 3, 5);
         let mut g = gram(&spec, &params, &xs);
         g.add_diagonal(1e-8);
-        assert!(Cholesky::new(&g).is_ok());
+        assert!(CholeskyFactor::new(&g).is_ok());
     }
 
     #[test]

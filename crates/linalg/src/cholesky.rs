@@ -42,14 +42,6 @@ pub struct CholeskyFactor {
     jitter: f64,
 }
 
-/// Former name of [`CholeskyFactor`].
-///
-/// **Deprecation note:** this alias predates the updatable-factor redesign
-/// and is kept only so existing call sites keep compiling; new code should
-/// import [`CholeskyFactor`]. It will be removed once downstream crates
-/// have migrated.
-pub type Cholesky = CholeskyFactor;
-
 /// Runs the scalar Cholesky recurrence for rows `start..n` of `l`, reading
 /// the source matrix through `a(i, j)` (only queried for `j <= i`,
 /// `i >= start`) and adding `jitter` to diagonal entries.

@@ -11,7 +11,7 @@
 //!   factorisation used by the Gaussian process crates: one-shot solves and
 //!   log-determinants plus rank-k [`CholeskyFactor::extend`] /
 //!   [`CholeskyFactor::downdate`] updates for the incremental-refit hot
-//!   path. ([`Cholesky`] remains as a compatibility alias.)
+//!   path.
 //! * [`Lu`] — partially-pivoted LU for the real Newton solves inside the MNA
 //!   circuit simulator.
 //! * [`Complex64`] / [`ComplexLu`] — minimal complex arithmetic and a complex
@@ -41,7 +41,7 @@ mod lu;
 mod matrix;
 pub mod stats;
 
-pub use cholesky::{Cholesky, CholeskyFactor};
+pub use cholesky::CholeskyFactor;
 pub use complex::{Complex64, ComplexLu};
 pub use error::LinalgError;
 pub use lu::Lu;

@@ -44,12 +44,14 @@
 
 mod ac;
 mod dc;
+pub mod device;
 mod error;
 mod measure;
 mod netlist;
 
 pub use ac::{AcSweep, BodeData};
 pub use dc::{DcOptions, DcSolution};
+pub use device::{lut_for, mos_cgg, DeviceError, DeviceLut, DeviceModel, SquareLaw};
 pub use error::MnaError;
 pub use measure::{phase_margin_deg, psrr_db, unity_gain_freq};
 pub use netlist::{Circuit, DiodeModel, Element, ElementHandle, MosModel, MosType, NodeId};

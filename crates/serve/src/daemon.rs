@@ -79,6 +79,16 @@ impl SizingProblem for FaultProblem<'_> {
         );
         self.inner.evaluate(x)
     }
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Metrics> {
+        // Forward to the inner batch path (the shim must not serialise the
+        // population); the failpoint check still guards every batch.
+        assert!(
+            !crate::faults::matches("sim_panic", self.seed),
+            "injected simulator panic (sim_panic={})",
+            self.seed
+        );
+        self.inner.evaluate_batch(xs)
+    }
     fn expert_design(&self) -> Vec<f64> {
         self.inner.expert_design()
     }
@@ -131,21 +141,24 @@ pub fn run_with_bank(
             None,
         );
     };
-    let probe_n = warm_probe_size(settings.n_init).min(settings.budget);
+    let mut probe_n = warm_probe_size(settings.n_init).min(settings.budget);
     let mut probe = RunHistory::new(&problem.name(), "KATO", settings.seed);
     let mut rng = StdRng::seed_from_u64(settings.seed);
-    for _ in 0..probe_n {
-        if run_budget
+    // The probe is one batched population (sharded over the pool): drawing
+    // the designs up front consumes the RNG exactly as the scalar loop
+    // did, and any sim cap clamps the batch so capped counts stay exact.
+    if let Some(allow) = run_budget.as_ref().and_then(|b| b.remaining_sims(0)) {
+        probe_n = probe_n.min(allow);
+    }
+    if probe_n > 0
+        && !run_budget
             .as_ref()
             .is_some_and(|b| b.exhausted(probe.len()))
-        {
-            break;
-        }
-        probe.evaluate_and_push(
-            problem,
-            &Mode::Constrained,
-            random_design(problem.dim(), &mut rng),
-        );
+    {
+        let designs: Vec<Vec<f64>> = (0..probe_n)
+            .map(|_| random_design(problem.dim(), &mut rng))
+            .collect();
+        probe.evaluate_and_push_batch(problem, &Mode::Constrained, designs);
     }
     match bank.select_source(scenario, tech, problem.specs(), &probe) {
         Some((source, choice)) => {

@@ -19,7 +19,7 @@
 use crate::bank::SourceChoice;
 use crate::json::Json;
 use kato::{RunHistory, WorstCaseProblem};
-use kato_circuits::{OverriddenProblem, ScenarioRegistry, SizingProblem};
+use kato_circuits::{Backend, OverriddenProblem, ScenarioRegistry, SizingProblem};
 
 /// Top-level request keys the daemon understands.
 const ALLOWED_KEYS: &[&str] = &[
@@ -31,6 +31,7 @@ const ALLOWED_KEYS: &[&str] = &[
     "seed",
     "budget",
     "deadline_ms",
+    "backend",
 ];
 
 /// Default simulation budget when the request omits one.
@@ -61,6 +62,11 @@ pub struct SizingRequest {
     /// Wall-clock deadline in milliseconds; when set, the run returns its
     /// best-so-far (marked `degraded`) instead of overrunning.
     pub deadline_ms: Option<u64>,
+    /// Device backend override (`"square_law"` or `"lut"`); `None` uses
+    /// the scenario's default. Excluded from nothing: it is part of the
+    /// cache key, because the two backends produce (slightly) different
+    /// metrics and therefore different run traces.
+    pub backend: Option<Backend>,
 }
 
 impl SizingRequest {
@@ -124,6 +130,14 @@ impl SizingRequest {
                     .ok_or("'deadline_ms' must be a positive integer")
             })
             .transpose()?;
+        let backend = doc
+            .get("backend")
+            .map(|v| {
+                v.as_str()
+                    .and_then(Backend::parse)
+                    .ok_or("'backend' must be \"square_law\" or \"lut\"")
+            })
+            .transpose()?;
         let mut overrides = Vec::new();
         if let Some(specs) = doc.get("specs") {
             let entries = specs.as_obj().ok_or("'specs' must be an object")?;
@@ -143,6 +157,7 @@ impl SizingRequest {
             seed,
             budget,
             deadline_ms,
+            backend,
         })
     }
 
@@ -153,19 +168,23 @@ impl SizingRequest {
     /// *when* a run stops, not what the full run would compute, and a
     /// degraded result is never stored (see the daemon), so a later
     /// undeadlined request must map to the same key to reuse the full run.
+    /// The device backend is excluded from nothing: it changes every
+    /// simulated metric, so it is part of the key (`default` when the
+    /// request defers to the scenario).
     #[must_use]
     pub fn cache_key(&self, resolved_tech: &str) -> String {
         let mut specs: Vec<&(String, f64)> = self.overrides.iter().collect();
         specs.sort_by(|a, b| a.0.cmp(&b.0));
         let specs: Vec<String> = specs.iter().map(|(k, v)| format!("{k}={v}")).collect();
         format!(
-            "{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}",
             self.scenario,
             resolved_tech,
             self.corner,
             specs.join(","),
             self.seed,
-            self.budget
+            self.budget,
+            self.backend.map_or("default", Backend::name)
         )
     }
 
@@ -190,10 +209,15 @@ impl SizingRequest {
             .unwrap_or(scenario.default_tech)
             .to_string();
         let base: Box<dyn SizingProblem> = if self.corner == "worst" {
-            Box::new(WorstCaseProblem::new(scenario, &tech).map_err(|e| e.to_string())?)
+            Box::new(
+                WorstCaseProblem::with_backend(scenario, &tech, self.backend)
+                    .map_err(|e| e.to_string())?,
+            )
         } else {
             let corner = scenario.corner(&self.corner).map_err(|e| e.to_string())?;
-            scenario.build(&tech, &corner).map_err(|e| e.to_string())?
+            scenario
+                .build_at(&tech, &corner, self.backend)
+                .map_err(|e| e.to_string())?
         };
         let problem = OverriddenProblem::new(base, &self.overrides)?;
         Ok((Box::new(problem), tech))
@@ -254,6 +278,10 @@ pub fn response_json(
         ("scenario", Json::str(&request.scenario)),
         ("tech", Json::str(resolved_tech)),
         ("corner", Json::str(&request.corner)),
+        (
+            "backend",
+            Json::str(request.backend.map_or("default", Backend::name)),
+        ),
         ("seed", Json::Num(request.seed as f64)),
         ("budget", Json::Num(request.budget as f64)),
         ("cache_hit", Json::Bool(cache_hit)),
@@ -293,7 +321,40 @@ mod tests {
         assert_eq!(req.seed, DEFAULT_SEED);
         assert_eq!(req.budget, DEFAULT_BUDGET);
         assert_eq!(req.deadline_ms, None);
+        assert_eq!(req.backend, None);
         assert!(req.overrides.is_empty());
+    }
+
+    #[test]
+    fn backend_parses_keys_and_builds() {
+        let req = SizingRequest::parse(r#"{"scenario":"switch","backend":"square_law"}"#).unwrap();
+        assert_eq!(req.backend, Some(Backend::SquareLaw));
+        let lut = SizingRequest::parse(r#"{"scenario":"opamp2","backend":"lut"}"#).unwrap();
+        assert_eq!(lut.backend, Some(Backend::Lut));
+        let err = SizingRequest::parse(r#"{"scenario":"opamp2","backend":"spice"}"#).unwrap_err();
+        assert!(err.contains("backend"), "{err}");
+        // The backend is part of the cache key — never collapsed away.
+        let default = SizingRequest::parse(r#"{"scenario":"opamp2"}"#).unwrap();
+        assert_ne!(lut.cache_key("180nm"), default.cache_key("180nm"));
+        assert!(lut.cache_key("180nm").ends_with("|lut"));
+        assert!(default.cache_key("180nm").ends_with("|default"));
+        // And it resolves through the registry, for single- and worst-corner.
+        let reg = ScenarioRegistry::standard();
+        let (p, _) = req.build_problem(&reg).unwrap();
+        assert_eq!(p.name(), "switch_180nm");
+        let worst = SizingRequest::parse(
+            r#"{"scenario":"switch","corner":"worst","backend":"square_law"}"#,
+        )
+        .unwrap();
+        let (pw, _) = worst.build_problem(&reg).unwrap();
+        assert!(pw.name().contains("worstcase"));
+        // Forced square-law differs from the switch's LUT default.
+        let (pd, _) = SizingRequest::parse(r#"{"scenario":"switch"}"#)
+            .unwrap()
+            .build_problem(&reg)
+            .unwrap();
+        let x = pd.expert_design();
+        assert_ne!(p.evaluate(&x), pd.evaluate(&x));
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Integration: the batched-evaluation contract, end to end.
+//!
+//! `SizingProblem::evaluate_batch` is contractually bitwise-identical to
+//! the scalar `evaluate` loop, and `kato::evaluate_batch_sharded` must
+//! preserve that identity at any thread count because `kato_par` splits
+//! populations into order-preserving contiguous chunks. This gate proves
+//! both properties for every registry scenario on its default backend —
+//! including the LUT-native `switch` / `varactor` families — and for the
+//! all-corner `WorstCaseProblem` wrapper, under `KATO_THREADS=1` and `=4`.
+
+use kato::{evaluate_batch_sharded, WorstCaseProblem};
+use kato_circuits::{random_design, Metrics, ScenarioRegistry, SizingProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serialises the tests that mutate `KATO_THREADS` (tests in one binary
+/// run concurrently and the variable is process-global).
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn designs_for(p: &dyn SizingProblem, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_design(p.dim(), &mut rng)).collect()
+}
+
+fn assert_bitwise(got: &[Metrics], want: &[Metrics], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: population size");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.values(), w.values(), "{ctx}: design {i} diverged");
+    }
+}
+
+/// Scalar loop vs trait batch vs sharded batch, for one problem.
+fn check_problem(p: &dyn SizingProblem, n: usize, seed: u64, ctx: &str) {
+    let xs = designs_for(p, n, seed);
+    let scalar: Vec<Metrics> = xs.iter().map(|x| p.evaluate(x)).collect();
+    assert_bitwise(&p.evaluate_batch(&xs), &scalar, &format!("{ctx} batch"));
+    for threads in ["1", "4"] {
+        std::env::set_var("KATO_THREADS", threads);
+        let sharded = evaluate_batch_sharded(p, &xs);
+        assert_bitwise(&sharded, &scalar, &format!("{ctx} sharded x{threads}"));
+    }
+    std::env::remove_var("KATO_THREADS");
+}
+
+#[test]
+fn batch_eval_bitwise_identical_for_every_scenario() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let reg = ScenarioRegistry::standard();
+    for (i, scenario) in reg.scenarios().iter().enumerate() {
+        let p = scenario.build_default();
+        check_problem(p.as_ref(), 9, 0x5eed + i as u64, scenario.name);
+    }
+}
+
+#[test]
+fn worst_case_batch_bitwise_identical_for_every_scenario() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let reg = ScenarioRegistry::standard();
+    for (i, scenario) in reg.scenarios().iter().enumerate() {
+        let wc = WorstCaseProblem::new(scenario, scenario.default_tech).unwrap();
+        let ctx = format!("{} worst-case", scenario.name);
+        check_problem(&wc, 5, 0xc0de + i as u64, &ctx);
+    }
+}
