@@ -18,7 +18,7 @@
 use kato::{corner_audit_at, BoSettings, Kato, Mode, RunHistory, SourceData, WorstCaseProblem};
 use kato_bench::json::Json;
 use kato_bench::{final_stats, mean_sims_to_reach, run_seeds};
-use kato_circuits::{Backend, Corner, ScenarioRegistry, SizingProblem};
+use kato_circuits::{Backend, Corner, ScenarioRegistry, SizingProblem, YieldSettings};
 use kato_serve::daemon::run_with_bank;
 use kato_serve::{Bank, SourceChoice};
 use std::process::ExitCode;
@@ -29,7 +29,7 @@ USAGE:
     kato list
     kato run <scenario> [--tech <node>] [--corner <c>|worst] [--seeds <n>]
                         [--budget <b>] [--backend <be>] [--bank <dir>]
-                        [--out <path>]
+                        [--yield <n>] [--out <path>]
     kato transfer <src> <dst> [--tech <node>] [--src-tech <node>]
                         [--seeds <n>] [--budget <b>] [--source-n <m>]
                         [--out <path>]
@@ -50,6 +50,12 @@ OPTIONS:
                      scenario's native backend — LUT for switch/varactor)
     --bank <dir>     knowledge bank: warm-start from archived runs of the
                      same scenario (any tech node) and persist this run
+    --yield <n>      Monte-Carlo yield mode: score each design by its
+                     pass-rate over <n> Pelgrom mismatch samples (x the
+                     corner set) and constrain yield >= the scenario's
+                     threshold preset; --corner worst sweeps all registered
+                     corners per sample, a named corner estimates yield
+                     there only (not combinable with --bank)
     --out <path>     results JSON path (default results/kato_<...>.json)
 ";
 
@@ -68,6 +74,7 @@ struct Opts {
     budget: usize,
     source_n: usize,
     bank: Option<String>,
+    yield_samples: Option<usize>,
     out: Option<String>,
 }
 
@@ -81,6 +88,7 @@ fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opt
         budget: 40,
         source_n: 120,
         bank: None,
+        yield_samples: None,
         out: None,
     };
     let mut it = args.iter();
@@ -124,6 +132,15 @@ fn parse_opts(subcommand: &str, allowed: &[&str], args: &[String]) -> Result<Opt
                     .map_err(|_| "unparsable --source-n".to_string())?;
             }
             "--bank" => opts.bank = Some(value()?),
+            "--yield" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| "unparsable --yield".to_string())?;
+                if n == 0 {
+                    return Err("--yield must be at least 1".to_string());
+                }
+                opts.yield_samples = Some(n);
+            }
             "--out" => opts.out = Some(value()?),
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -200,10 +217,51 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
     let scenario = registry.get(name).map_err(|e| e.to_string())?;
     let tech = opts.tech.as_deref().unwrap_or(scenario.default_tech);
     let corner_arg = opts.corner.as_deref().unwrap_or("tt");
+    if opts.yield_samples.is_some() && opts.bank.is_some() {
+        return Err(
+            "--yield does not combine with --bank: yield runs carry an extra \
+             metric and do not align with nominal bank archives"
+                .to_string(),
+        );
+    }
 
-    // Build the problem: a single named corner, or the worst-case wrapper.
+    // Yield mode: the mismatch stream is keyed on the run seed, so each
+    // repetition gets its own problem instance (same circuit, same
+    // threshold, seed-specific Monte-Carlo draws).
+    let make_yield = |seed: u64| -> Result<Box<dyn SizingProblem>, String> {
+        let samples = opts.yield_samples.expect("yield mode");
+        let corners = if corner_arg == "worst" {
+            None // the scenario's registered sweep, worst-cased per sample
+        } else {
+            Some(vec![scenario
+                .corner(corner_arg)
+                .map_err(|e| e.to_string())?])
+        };
+        Ok(Box::new(
+            scenario
+                .build_yield(
+                    tech,
+                    opts.backend,
+                    YieldSettings {
+                        samples,
+                        threshold: scenario.yield_preset.threshold,
+                        seed,
+                        early_abort: true,
+                        corners,
+                    },
+                )
+                .map_err(|e| e.to_string())?,
+        ))
+    };
+
+    // Build the problem: a single named corner, the worst-case wrapper, or
+    // the Monte-Carlo yield wrapper. In yield mode this instance (first
+    // seed) provides names/metrics; per-seed instances run the search.
     let worst = corner_arg == "worst";
-    let problem: Box<dyn SizingProblem> = if worst {
+    let seeds = seed_list(opts.seeds);
+    let problem: Box<dyn SizingProblem> = if opts.yield_samples.is_some() {
+        make_yield(seeds[0])?
+    } else if worst {
         Box::new(
             WorstCaseProblem::with_backend(scenario, tech, opts.backend)
                 .map_err(|e| e.to_string())?,
@@ -222,8 +280,13 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
         opts.budget,
         opts.seeds
     );
-
-    let seeds = seed_list(opts.seeds);
+    if let Some(n) = opts.yield_samples {
+        println!(
+            "  yield mode: {n} mismatch samples x {} corner(s), threshold {:.2}, early abort on",
+            if worst { scenario.corners.len() } else { 1 },
+            scenario.yield_preset.threshold
+        );
+    }
     let mut bank = opts
         .bank
         .as_deref()
@@ -255,8 +318,14 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
             }
             None => {
                 let histories = run_seeds(&seeds, |seed| {
-                    Kato::new(quick_settings(opts.budget, seed))
-                        .run(problem.as_ref(), Mode::Constrained)
+                    // Yield mode rebuilds per seed so the mismatch stream
+                    // key follows the run seed; validation already passed
+                    // on the first-seed instance above.
+                    let per_seed: Option<Box<dyn SizingProblem>> = opts
+                        .yield_samples
+                        .map(|_| make_yield(seed).expect("first-seed build validated settings"));
+                    let target = per_seed.as_deref().unwrap_or(problem.as_ref());
+                    Kato::new(quick_settings(opts.budget, seed)).run(target, Mode::Constrained)
                 });
                 let n = histories.len();
                 (histories, vec![None; n])
@@ -312,7 +381,9 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
     // infeasible run has no design worth auditing: report that cleanly and
     // keep `corner_audit` null so consumers can tell "not audited" from
     // "audited zero corners".
-    let audit_json = if worst {
+    let audit_json = if worst || opts.yield_samples.is_some() {
+        // Worst-case and yield runs already evaluated every corner of
+        // interest per simulation; a separate audit adds nothing.
         Json::Null
     } else if n_feasible == 0 {
         println!(
@@ -366,11 +437,24 @@ fn cmd_run(registry: &ScenarioRegistry, name: &str, opts: &Opts) -> Result<(), S
             Json::nums(&seeds.iter().map(|&s| s as f64).collect::<Vec<_>>()),
         ),
         ("bank", opts.bank.as_deref().map_or(Json::Null, Json::str)),
+        (
+            "yield_samples",
+            opts.yield_samples
+                .map_or(Json::Null, |n| Json::Num(n as f64)),
+        ),
+        (
+            "yield_threshold",
+            opts.yield_samples
+                .map_or(Json::Null, |_| Json::Num(scenario.yield_preset.threshold)),
+        ),
         ("feasible", Json::Bool(n_feasible > 0)),
         ("runs", Json::Arr(runs)),
         ("corner_audit", audit_json),
     ]);
-    let default_path = format!("results/kato_run_{name}_{tech}_{corner_arg}.json");
+    let default_path = match opts.yield_samples {
+        Some(n) => format!("results/kato_run_{name}_{tech}_{corner_arg}_yield{n}.json"),
+        None => format!("results/kato_run_{name}_{tech}_{corner_arg}.json"),
+    };
     write_json(opts.out.as_deref().unwrap_or(&default_path), &doc)
 }
 
@@ -486,6 +570,7 @@ fn main() -> ExitCode {
                     "--seeds",
                     "--budget",
                     "--bank",
+                    "--yield",
                     "--out",
                 ],
                 &args[2..],

@@ -235,6 +235,66 @@ fn run(label: &str, out: Option<&str>, samples: usize) -> Result<(), String> {
         black_box(node_lut.vgs_for_id_batch(&node_lut.nmos, black_box(&requests)));
     });
 
+    // Monte-Carlo yield with the streaming early-abort pipeline vs the
+    // same estimator forced to simulate every sample. The population is
+    // infeasible-heavy on purpose (random opamp2 designs rarely meet spec
+    // at the worst corner), which is exactly the regime the abort is for:
+    // a candidate whose nominal sample fails — or whose failure count
+    // already rules the threshold out — stops consuming samples. Recorded
+    // metrics are bitwise identical either way (asserted below); only the
+    // wall clock may differ.
+    let registry = kato_circuits::ScenarioRegistry::standard();
+    let yield_scenario = registry.get("opamp2").map_err(|e| e.to_string())?;
+    let yield_settings = || kato_circuits::YieldSettings {
+        samples: 12,
+        threshold: 0.7,
+        seed: 11,
+        early_abort: true,
+        corners: None, // the registered five-corner sweep, per sample
+    };
+    let yield_abort = yield_scenario
+        .build_yield("180nm", None, yield_settings())
+        .map_err(|e| e.to_string())?;
+    let yield_full = yield_scenario
+        .build_yield(
+            "180nm",
+            None,
+            kato_circuits::YieldSettings {
+                early_abort: false,
+                ..yield_settings()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    let yield_pop: Vec<Vec<f64>> = {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut pop: Vec<Vec<f64>> = (0..24)
+            .map(|_| random_design(yield_abort.dim(), &mut rng))
+            .collect();
+        // A couple of feasible-ish candidates so the abort path still
+        // exercises full sample scans.
+        pop.push(yield_abort.expert_design());
+        pop.push(yield_abort.expert_design());
+        pop
+    };
+    eprintln!(
+        "[timing yield early-abort vs full-sample, {} candidates x {} samples x {} corners x{samples}]",
+        yield_pop.len(),
+        yield_abort.samples(),
+        yield_abort.corner_count()
+    );
+    let yield_abort_s = time_median(samples, || {
+        black_box(evaluate_batch_sharded(&yield_abort, black_box(&yield_pop)));
+    });
+    let yield_full_s = time_median(samples, || {
+        black_box(evaluate_batch_sharded(&yield_full, black_box(&yield_pop)));
+    });
+    // The abort contract: identical recorded results on both schedules.
+    assert_eq!(
+        evaluate_batch_sharded(&yield_abort, &yield_pop),
+        evaluate_batch_sharded(&yield_full, &yield_pop),
+        "early abort changed recorded yield results"
+    );
+
     // End to end: one full seeded KATO run, quick profile. Reported per
     // simulation so budget changes don't silently rescale the trajectory.
     let budget = 40usize;
@@ -293,6 +353,22 @@ fn run(label: &str, out: Option<&str>, samples: usize) -> Result<(), String> {
                 // Headline: batched LUT operating-point evaluation vs the
                 // scalar square-law loop on the 64-candidate population.
                 ("speedup", Json::Num(vgs_scalar_sq_s / vgs_batched_lut_s)),
+            ]),
+        ),
+        (
+            "yield",
+            Json::obj(vec![
+                ("scenario", Json::str("opamp2_180nm")),
+                ("population", Json::Num(yield_pop.len() as f64)),
+                (
+                    "samples_per_candidate",
+                    Json::Num(yield_abort.samples() as f64),
+                ),
+                ("corners", Json::Num(yield_abort.corner_count() as f64)),
+                ("threshold", Json::Num(yield_abort.threshold())),
+                ("early_abort_ms", Json::Num(yield_abort_s * 1e3)),
+                ("full_sample_ms", Json::Num(yield_full_s * 1e3)),
+                ("speedup", Json::Num(yield_full_s / yield_abort_s)),
             ]),
         ),
         (

@@ -43,6 +43,7 @@ mod corner;
 mod folded_cascode;
 mod fom;
 mod ldo;
+mod mismatch;
 mod opamp2;
 mod opamp3;
 mod problem;
@@ -51,19 +52,22 @@ mod switch;
 mod tech;
 mod telescopic;
 mod varactor;
+mod yield_problem;
 
 pub use bandgap::Bandgap;
 pub use corner::{Corner, Process};
 pub use folded_cascode::FoldedCascodeOpAmp;
 pub use fom::{FomNormalization, FomSpec};
 pub use ldo::Ldo;
+pub use mismatch::{MismatchDeltas, MismatchStream, Pelgrom};
 pub use opamp2::TwoStageOpAmp;
 pub use opamp3::ThreeStageOpAmp;
 pub use problem::{
     random_design, Goal, Metrics, OverriddenProblem, SizingProblem, Spec, SpecKind, VarSpec,
 };
-pub use registry::{Scenario, ScenarioError, ScenarioRegistry};
+pub use registry::{Scenario, ScenarioError, ScenarioRegistry, YieldPreset};
 pub use switch::Switch;
 pub use tech::{Backend, TechNode};
 pub use telescopic::TelescopicOpAmp;
 pub use varactor::Varactor;
+pub use yield_problem::{YieldProblem, YieldSettings};

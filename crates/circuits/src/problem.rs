@@ -233,6 +233,24 @@ pub trait SizingProblem: Send + Sync {
     /// Tables 1–2).
     fn expert_design(&self) -> Vec<f64>;
 
+    /// Whether per-candidate evaluation cost varies enough that population
+    /// evaluation should *stream* candidates through the worker pool
+    /// (dynamic work-claiming) rather than pre-shard them into equal
+    /// contiguous chunks.
+    ///
+    /// Plain testbenches cost the same per candidate, so the default is
+    /// `false` and the batch layer uses chunking (better locality, one
+    /// sync point). Wrappers whose cost per candidate is data-dependent —
+    /// e.g. Monte-Carlo yield with early abort, where an infeasible
+    /// candidate stops after a handful of samples while a feasible one
+    /// consumes the full budget — return `true` so a few expensive
+    /// candidates cannot serialise a whole shard behind them. The hint
+    /// is purely a scheduling choice: either path must produce results
+    /// bitwise identical to the scalar loop.
+    fn streaming_hint(&self) -> bool {
+        false
+    }
+
     /// Index of a metric by name.
     fn metric_index(&self, name: &str) -> Option<usize> {
         self.metric_names().iter().position(|m| *m == name)
@@ -333,6 +351,11 @@ impl SizingProblem for OverriddenProblem {
     }
     fn expert_design(&self) -> Vec<f64> {
         self.inner.expert_design()
+    }
+    fn streaming_hint(&self) -> bool {
+        // A spec override never changes evaluation cost; keep the inner
+        // problem's scheduling preference.
+        self.inner.streaming_hint()
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::corner::Corner;
 use crate::problem::SizingProblem;
 use crate::tech::{Backend, TechNode};
+use crate::yield_problem::{YieldProblem, YieldSettings};
 use crate::{
     Bandgap, FoldedCascodeOpAmp, Ldo, Switch, TelescopicOpAmp, ThreeStageOpAmp, TwoStageOpAmp,
     Varactor,
@@ -42,6 +43,14 @@ pub enum ScenarioError {
         /// Why the corner was rejected.
         reason: String,
     },
+    /// A Monte-Carlo yield configuration was rejected (sample count or
+    /// pass-rate threshold out of range).
+    BadYield {
+        /// The scenario that was found.
+        scenario: String,
+        /// Why the yield configuration was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -65,6 +74,9 @@ impl fmt::Display for ScenarioError {
             ),
             ScenarioError::BadCorner { scenario, reason } => {
                 write!(f, "bad corner for scenario '{scenario}': {reason}")
+            }
+            ScenarioError::BadYield { scenario, reason } => {
+                write!(f, "bad yield config for scenario '{scenario}': {reason}")
             }
         }
     }
@@ -94,7 +106,31 @@ pub struct Scenario {
     /// family defaults to the square-law reference; the device-level
     /// `switch`/`varactor` families are LUT-native.
     pub default_backend: Backend,
+    /// Monte-Carlo yield preset (sample count + pass-rate threshold) used
+    /// when a caller requests yield mode without explicit numbers. The
+    /// tech-node half of the preset lives on the card itself (each
+    /// [`TechNode`] carries its own Pelgrom coefficients).
+    pub yield_preset: YieldPreset,
     build: fn(TechNode) -> Box<dyn SizingProblem>,
+}
+
+/// Per-scenario Monte-Carlo yield defaults: how many mismatch samples a
+/// yield estimate draws and the pass-rate the yield constraint demands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldPreset {
+    /// Mismatch samples per candidate (sample 0 is the nominal draw).
+    pub samples: usize,
+    /// Pass-rate bound of the `yield ≥ threshold` constraint row.
+    pub threshold: f64,
+}
+
+impl Default for YieldPreset {
+    fn default() -> Self {
+        YieldPreset {
+            samples: 16,
+            threshold: 0.7,
+        }
+    }
 }
 
 impl Scenario {
@@ -116,6 +152,7 @@ impl Scenario {
             default_tech,
             corners,
             default_backend: Backend::SquareLaw,
+            yield_preset: YieldPreset::default(),
             build,
         }
     }
@@ -178,6 +215,42 @@ impl Scenario {
             .expect("default tech is always registered")
     }
 
+    /// Builds the problem directly on a fully prepared card — already
+    /// backend-selected, corner-shifted and (optionally) carrying a
+    /// mismatch sample. This is the hook yield evaluation uses to
+    /// instantiate per-sample testbenches without re-resolving tech or
+    /// corner state.
+    #[must_use]
+    pub fn build_on_card(&self, node: TechNode) -> Box<dyn SizingProblem> {
+        (self.build)(node)
+    }
+
+    /// The raw problem constructor, for wrappers that rebuild the circuit
+    /// on many prepared cards (one per corner × mismatch sample).
+    #[must_use]
+    pub fn builder(&self) -> fn(TechNode) -> Box<dyn SizingProblem> {
+        self.build
+    }
+
+    /// Builds a [`YieldProblem`] over this scenario's corner sweep on a
+    /// named tech node. `None` entries in `settings` fall back to the
+    /// scenario's [`Scenario::yield_preset`]; the mismatch seed should be
+    /// the caller's run seed so yield estimates share the run's
+    /// reproducibility envelope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError`] for an unknown tech node, an empty
+    /// corner set, or an out-of-range sample count / threshold.
+    pub fn build_yield(
+        &self,
+        tech: &str,
+        backend: Option<Backend>,
+        settings: YieldSettings,
+    ) -> Result<YieldProblem, ScenarioError> {
+        YieldProblem::new(self, tech, backend, settings)
+    }
+
     /// Parses a corner name for this scenario. Any well-formed corner is
     /// accepted — the registered sweep is the characterisation set, not a
     /// whitelist, so `"tt"`-style bare process names (27 °C) and
@@ -226,6 +299,10 @@ impl ScenarioRegistry {
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
                 default_backend: Backend::SquareLaw,
+                yield_preset: YieldPreset {
+                    samples: 16,
+                    threshold: 0.7,
+                },
                 build: |node| Box::new(TwoStageOpAmp::new(node)),
             },
             Scenario {
@@ -235,6 +312,10 @@ impl ScenarioRegistry {
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
                 default_backend: Backend::SquareLaw,
+                yield_preset: YieldPreset {
+                    samples: 16,
+                    threshold: 0.7,
+                },
                 build: |node| Box::new(ThreeStageOpAmp::new(node)),
             },
             Scenario {
@@ -247,6 +328,12 @@ impl ScenarioRegistry {
                 // temperature corners would just duplicate the TT rows.
                 corners: Corner::process_sweep(),
                 default_backend: Backend::SquareLaw,
+                // The bandgap runs a full −40…125 °C Newton sweep per
+                // evaluation, so its yield preset draws fewer samples.
+                yield_preset: YieldPreset {
+                    samples: 8,
+                    threshold: 0.6,
+                },
                 build: |node| Box::new(Bandgap::new(node)),
             },
             Scenario {
@@ -256,6 +343,10 @@ impl ScenarioRegistry {
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
                 default_backend: Backend::SquareLaw,
+                yield_preset: YieldPreset {
+                    samples: 16,
+                    threshold: 0.7,
+                },
                 build: |node| Box::new(FoldedCascodeOpAmp::new(node)),
             },
             Scenario {
@@ -265,6 +356,10 @@ impl ScenarioRegistry {
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
                 default_backend: Backend::SquareLaw,
+                yield_preset: YieldPreset {
+                    samples: 16,
+                    threshold: 0.7,
+                },
                 build: |node| Box::new(TelescopicOpAmp::new(node)),
             },
             Scenario {
@@ -274,6 +369,10 @@ impl ScenarioRegistry {
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
                 default_backend: Backend::SquareLaw,
+                yield_preset: YieldPreset {
+                    samples: 16,
+                    threshold: 0.7,
+                },
                 build: |node| Box::new(Ldo::new(node)),
             },
             // Device-level gm/ID-flow families: no AC macromodel, every
@@ -286,6 +385,11 @@ impl ScenarioRegistry {
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
                 default_backend: Backend::Lut,
+                // Device-level families: cheap evaluations, tighter bar.
+                yield_preset: YieldPreset {
+                    samples: 16,
+                    threshold: 0.8,
+                },
                 build: |node| Box::new(Switch::new(node)),
             },
             Scenario {
@@ -295,6 +399,11 @@ impl ScenarioRegistry {
                 default_tech: "180nm",
                 corners: Corner::standard_sweep(),
                 default_backend: Backend::Lut,
+                // Device-level families: cheap evaluations, tighter bar.
+                yield_preset: YieldPreset {
+                    samples: 16,
+                    threshold: 0.8,
+                },
                 build: |node| Box::new(Varactor::new(node)),
             },
         ];

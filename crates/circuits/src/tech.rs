@@ -1,4 +1,5 @@
 use crate::corner::Corner;
+use crate::mismatch::{MismatchDeltas, MismatchStream, Pelgrom};
 use kato_mna::device::{BiasPoint, VgsRequest};
 use kato_mna::{lut_for, DeviceError, DeviceModel, MosModel, SquareLaw};
 
@@ -70,6 +71,17 @@ pub struct TechNode {
     pub temp_c: f64,
     /// Device-model backend the testbenches evaluate with.
     pub backend: Backend,
+    /// Pelgrom local-mismatch coefficients of this node (see
+    /// [`Pelgrom`]). Only consulted when a [`MismatchStream`] is
+    /// attached; the nominal card evaluates unperturbed.
+    pub pelgrom: Pelgrom,
+    /// Monte-Carlo mismatch sample this card evaluates under, or `None`
+    /// for the nominal (unperturbed) card. Attached via
+    /// [`TechNode::with_mismatch`]; when present, every instance-routed
+    /// device query (`mos_iv`, `mos_cgg`, `vgs_for_id` and their batch
+    /// forms) is remapped by that device's Pelgrom draw. The static
+    /// 27 °C helpers (`vgs_for_current*`) stay nominal.
+    pub mismatch: Option<MismatchStream>,
 }
 
 impl TechNode {
@@ -100,6 +112,12 @@ impl TechNode {
             c_load: 5e-12,
             temp_c: 27.0,
             backend: Backend::SquareLaw,
+            // Textbook 180 nm matching: A_Vth ≈ 5 mV·µm, A_KP ≈ 1 %·µm.
+            pelgrom: Pelgrom {
+                a_vth: 5e-9,
+                a_kp: 1e-8,
+            },
+            mismatch: None,
         }
     }
 
@@ -130,6 +148,13 @@ impl TechNode {
             c_load: 5e-12,
             temp_c: 27.0,
             backend: Backend::SquareLaw,
+            // Thinner oxide improves per-area matching (A_Vth ≈ 2.5 mV·µm),
+            // but the far smaller minimum devices mean larger σ in practice.
+            pelgrom: Pelgrom {
+                a_vth: 2.5e-9,
+                a_kp: 1.2e-8,
+            },
+            mismatch: None,
         }
     }
 
@@ -170,11 +195,50 @@ impl TechNode {
         self
     }
 
+    /// This card evaluating under Monte-Carlo mismatch sample `stream`:
+    /// every instance-routed device query is remapped by the device's
+    /// Pelgrom draw. Bitwise-deterministic: the perturbed card is a pure
+    /// function of `(stream, device identity, geometry)`.
+    #[must_use]
+    pub fn with_mismatch(mut self, stream: MismatchStream) -> Self {
+        self.mismatch = Some(stream);
+        self
+    }
+
+    /// Polarity tag for the mismatch sub-stream: NMOS and PMOS devices of
+    /// one sample draw independently, but the *same* physical device
+    /// queried repeatedly sees one consistent draw.
+    fn device_tag(&self, model: &MosModel) -> u64 {
+        if *model == self.nmos {
+            1
+        } else if *model == self.pmos {
+            2
+        } else {
+            // A model card that is neither polarity of this node (tests,
+            // exotic callers): identify it by its own bit pattern.
+            model.kp.to_bits() ^ model.vth.to_bits().rotate_left(17)
+        }
+    }
+
+    /// The local-mismatch perturbation this card applies to queries of
+    /// `model` at geometry `(w, l)` — [`MismatchDeltas::none`] on nominal
+    /// cards. Exposed so tests and wrappers can reason about the exact
+    /// remap the routing below performs.
+    #[must_use]
+    pub fn local_deltas(&self, model: &MosModel, w: f64, l: f64) -> MismatchDeltas {
+        match &self.mismatch {
+            None => MismatchDeltas::none(),
+            Some(stream) => stream.deltas(self.device_tag(model), w, l, &self.pelgrom),
+        }
+    }
+
     /// The [`DeviceModel`] this card routes device queries of `model`
     /// through (at the card's temperature). Mostly useful for backend-
     /// generic code and tests; the hot paths use the direct
     /// [`TechNode::mos_iv`] / [`TechNode::vgs_for_id`] methods below, which
-    /// avoid the allocation.
+    /// avoid the allocation. Always answers for the *nominal* model card:
+    /// local-mismatch remapping is a property of the instance-routed
+    /// methods, not of the backend object.
     #[must_use]
     pub fn device_model(&self, model: &MosModel) -> Box<dyn DeviceModel> {
         match self.backend {
@@ -187,29 +251,71 @@ impl TechNode {
         lut_for(model, self.temp_c, self.l_min, self.l_max)
     }
 
-    /// Backend-routed `(id, gm, gds)` at bias `(vgs, vds)`, evaluated at
-    /// the card's temperature.
-    #[must_use]
-    pub fn mos_iv(&self, model: &MosModel, w: f64, l: f64, vgs: f64, vds: f64) -> (f64, f64, f64) {
+    /// Backend dispatch for `(id, gm, gds)` on the *nominal* model — the
+    /// historical (bitwise-reference) path; mismatch remapping happens in
+    /// [`TechNode::mos_iv`] above it.
+    fn raw_iv(&self, model: &MosModel, w: f64, l: f64, vgs: f64, vds: f64) -> (f64, f64, f64) {
         match self.backend {
             Backend::SquareLaw => kato_mna::mos_iv_public(model, w, l, vgs, vds, self.temp_c),
             Backend::Lut => self.lut(model).iv(w, l, vgs, vds),
         }
     }
 
-    /// Backend-routed batched `(id, gm, gds)` over a population of
-    /// `(w, l, vgs, vds)` bias points.
+    /// Backend-routed `(id, gm, gds)` at bias `(vgs, vds)`, evaluated at
+    /// the card's temperature.
+    ///
+    /// When a mismatch sample is attached, the device's Pelgrom draw is
+    /// applied as an exact query remap: the model family depends on `vgs`
+    /// only through `vgs − vth` and is linear in `KP`, so the perturbed
+    /// answer is the nominal model queried at `vgs − ΔVth` with all three
+    /// outputs scaled by the `KP` ratio — identical physics to perturbing
+    /// the card, without generating per-sample LUTs.
     #[must_use]
-    pub fn mos_iv_batch(&self, model: &MosModel, points: &[BiasPoint]) -> Vec<(f64, f64, f64)> {
-        match self.backend {
-            Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).iv_batch(points),
-            Backend::Lut => self.lut(model).iv_batch(points),
+    pub fn mos_iv(&self, model: &MosModel, w: f64, l: f64, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        if self.mismatch.is_none() {
+            return self.raw_iv(model, w, l, vgs, vds);
         }
+        let d = self.local_deltas(model, w, l);
+        let (id, gm, gds) = self.raw_iv(model, w, l, vgs - d.dvth, vds);
+        (id * d.kp_ratio, gm * d.kp_ratio, gds * d.kp_ratio)
     }
 
-    /// Backend-routed total gate capacitance at gate bias `vgs`, F.
+    /// Backend-routed batched `(id, gm, gds)` over a population of
+    /// `(w, l, vgs, vds)` bias points (mismatch-remapped per point when a
+    /// sample is attached, like [`TechNode::mos_iv`]).
+    #[must_use]
+    pub fn mos_iv_batch(&self, model: &MosModel, points: &[BiasPoint]) -> Vec<(f64, f64, f64)> {
+        if self.mismatch.is_none() {
+            return match self.backend {
+                Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).iv_batch(points),
+                Backend::Lut => self.lut(model).iv_batch(points),
+            };
+        }
+        let deltas: Vec<MismatchDeltas> = points
+            .iter()
+            .map(|&(w, l, _, _)| self.local_deltas(model, w, l))
+            .collect();
+        let remapped: Vec<BiasPoint> = points
+            .iter()
+            .zip(&deltas)
+            .map(|(&(w, l, vgs, vds), d)| (w, l, vgs - d.dvth, vds))
+            .collect();
+        let raw = match self.backend {
+            Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).iv_batch(&remapped),
+            Backend::Lut => self.lut(model).iv_batch(&remapped),
+        };
+        raw.into_iter()
+            .zip(&deltas)
+            .map(|((id, gm, gds), d)| (id * d.kp_ratio, gm * d.kp_ratio, gds * d.kp_ratio))
+            .collect()
+    }
+
+    /// Backend-routed total gate capacitance at gate bias `vgs`, F. A
+    /// mismatch sample shifts the query by the device's ΔVth (`Cgg`
+    /// depends on `vgs` only through `vgs − vth`; `KP` does not enter).
     #[must_use]
     pub fn mos_cgg(&self, model: &MosModel, w: f64, l: f64, vgs: f64) -> f64 {
+        let vgs = vgs - self.local_deltas(model, w, l).dvth;
         match self.backend {
             Backend::SquareLaw => kato_mna::mos_cgg(model, w, l, vgs, self.temp_c),
             Backend::Lut => self.lut(model).cgg(w, l, vgs),
@@ -219,14 +325,18 @@ impl TechNode {
     /// Backend-routed operating-point inversion: the `vgs` at which the
     /// device carries `id_target`, clamped to the search bracket edge when
     /// the target is unreachable (see [`TechNode::try_vgs_for_id`]).
+    ///
+    /// Under mismatch the remap runs in reverse: solve the nominal model
+    /// for `id_target / kp_ratio`, then shift the answer by `+ΔVth`.
     #[must_use]
     pub fn vgs_for_id(&self, model: &MosModel, w: f64, l: f64, vds: f64, id_target: f64) -> f64 {
-        match self.backend {
-            Backend::SquareLaw => {
-                SquareLaw::new(*model, self.temp_c).vgs_for_id(w, l, vds, id_target)
-            }
-            Backend::Lut => self.lut(model).vgs_for_id(w, l, vds, id_target),
-        }
+        let d = self.local_deltas(model, w, l);
+        let target = id_target / d.kp_ratio;
+        let raw = match self.backend {
+            Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).vgs_for_id(w, l, vds, target),
+            Backend::Lut => self.lut(model).vgs_for_id(w, l, vds, target),
+        };
+        raw + d.dvth
     }
 
     /// Fallible [`TechNode::vgs_for_id`]: reports a [`DeviceError`] when no
@@ -239,23 +349,48 @@ impl TechNode {
         vds: f64,
         id_target: f64,
     ) -> Result<f64, DeviceError> {
-        match self.backend {
+        let d = self.local_deltas(model, w, l);
+        let target = id_target / d.kp_ratio;
+        let raw = match self.backend {
             Backend::SquareLaw => {
-                SquareLaw::new(*model, self.temp_c).try_vgs_for_id(w, l, vds, id_target)
+                SquareLaw::new(*model, self.temp_c).try_vgs_for_id(w, l, vds, target)
             }
-            Backend::Lut => self.lut(model).try_vgs_for_id(w, l, vds, id_target),
-        }
+            Backend::Lut => self.lut(model).try_vgs_for_id(w, l, vds, target),
+        };
+        raw.map(|vgs| vgs + d.dvth)
     }
 
     /// Backend-routed batched operating-point inversion over
     /// `(w, l, vds, id_target)` requests — a whole population swept through
-    /// the device model (for the LUT backend, through the grid) in one call.
+    /// the device model (for the LUT backend, through the grid) in one call
+    /// (mismatch-remapped per request when a sample is attached).
     #[must_use]
     pub fn vgs_for_id_batch(&self, model: &MosModel, requests: &[VgsRequest]) -> Vec<f64> {
-        match self.backend {
-            Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).vgs_for_id_batch(requests),
-            Backend::Lut => self.lut(model).vgs_for_id_batch(requests),
+        if self.mismatch.is_none() {
+            return match self.backend {
+                Backend::SquareLaw => {
+                    SquareLaw::new(*model, self.temp_c).vgs_for_id_batch(requests)
+                }
+                Backend::Lut => self.lut(model).vgs_for_id_batch(requests),
+            };
         }
+        let deltas: Vec<MismatchDeltas> = requests
+            .iter()
+            .map(|&(w, l, _, _)| self.local_deltas(model, w, l))
+            .collect();
+        let remapped: Vec<VgsRequest> = requests
+            .iter()
+            .zip(&deltas)
+            .map(|(&(w, l, vds, id), d)| (w, l, vds, id / d.kp_ratio))
+            .collect();
+        let raw = match self.backend {
+            Backend::SquareLaw => SquareLaw::new(*model, self.temp_c).vgs_for_id_batch(&remapped),
+            Backend::Lut => self.lut(model).vgs_for_id_batch(&remapped),
+        };
+        raw.into_iter()
+            .zip(&deltas)
+            .map(|(vgs, d)| vgs + d.dvth)
+            .collect()
     }
 
     /// Strong-inversion overdrive voltage for a device carrying `id` amps at
@@ -420,6 +555,80 @@ mod tests {
         let vgs = lut.vgs_for_id(&lut.nmos, w, l, vds, 50e-6);
         let (id, _, _) = lut.mos_iv(&lut.nmos, w, l, vgs, vds);
         assert!((id - 50e-6).abs() / 50e-6 < 1e-6, "lut id {id:.3e}");
+    }
+
+    #[test]
+    fn mismatch_remap_matches_perturbed_model_card() {
+        use crate::mismatch::MismatchStream;
+        let nom = TechNode::n180();
+        let card = nom.clone().with_mismatch(MismatchStream::from_key(99));
+        let (w, l, vgs, vds) = (20e-6, 0.5e-6, 0.9, 0.9);
+        let d = card.local_deltas(&card.nmos, w, l);
+        assert!(d.dvth != 0.0 && d.kp_ratio != 1.0, "{d:?}");
+        // The query remap must equal evaluating the explicitly perturbed
+        // model card directly (same physics, different algebra → allow ulps).
+        let (id_r, gm_r, gds_r) = card.mos_iv(&card.nmos, w, l, vgs, vds);
+        let pert = card.nmos.perturbed(d.dvth, d.kp_ratio);
+        let (id_p, gm_p, gds_p) = kato_mna::mos_iv_public(&pert, w, l, vgs, vds, card.temp_c);
+        assert!((id_r - id_p).abs() <= 1e-12 * id_p.abs(), "{id_r} {id_p}");
+        assert!((gm_r - gm_p).abs() <= 1e-12 * gm_p.abs(), "{gm_r} {gm_p}");
+        assert!(
+            (gds_r - gds_p).abs() <= 1e-12 * gds_p.abs(),
+            "{gds_r} {gds_p}"
+        );
+        // Inversion round-trips through the perturbed device.
+        let vgs_inv = card.vgs_for_id(&card.nmos, w, l, vds, 50e-6);
+        let (id, _, _) = card.mos_iv(&card.nmos, w, l, vgs_inv, vds);
+        assert!((id - 50e-6).abs() / 50e-6 < 1e-3, "{id:.3e}");
+        // The nominal card is untouched.
+        let (id_n, _, _) = nom.mos_iv(&nom.nmos, w, l, vgs, vds);
+        assert_ne!(id_r, id_n);
+        assert_eq!(nom.local_deltas(&nom.nmos, w, l), MismatchDeltas::none());
+    }
+
+    #[test]
+    fn mismatch_batch_paths_match_scalar_remap() {
+        use crate::mismatch::MismatchStream;
+        let card = TechNode::n180().with_mismatch(MismatchStream::from_key(7));
+        let points: Vec<BiasPoint> = vec![
+            (20e-6, 0.5e-6, 0.9, 0.9),
+            (5e-6, 0.18e-6, 0.7, 0.5),
+            (80e-6, 1.0e-6, 1.2, 1.0),
+        ];
+        let batch = card.mos_iv_batch(&card.nmos, &points);
+        for (&(w, l, vgs, vds), got) in points.iter().zip(&batch) {
+            assert_eq!(*got, card.mos_iv(&card.nmos, w, l, vgs, vds));
+        }
+        let requests: Vec<VgsRequest> =
+            vec![(20e-6, 0.5e-6, 0.9, 50e-6), (5e-6, 0.18e-6, 0.5, 5e-6)];
+        let batch = card.vgs_for_id_batch(&card.nmos, &requests);
+        for (&(w, l, vds, id), got) in requests.iter().zip(&batch) {
+            assert_eq!(*got, card.vgs_for_id(&card.nmos, w, l, vds, id));
+        }
+    }
+
+    #[test]
+    fn mismatch_survives_corner_shift_and_lut_backend() {
+        use crate::corner::{Corner, Process};
+        use crate::mismatch::MismatchStream;
+        let stream = MismatchStream::from_key(3);
+        let card = TechNode::n180().with_mismatch(stream);
+        let at_ss = card.at_corner(&Corner::new(Process::Ss, 125.0));
+        assert_eq!(at_ss.mismatch, Some(stream));
+        assert_eq!(at_ss.pelgrom, card.pelgrom);
+        // The LUT backend applies the same remap around its nominal table:
+        // close to the square-law answer, and != its own nominal answer.
+        let lut = card.clone().with_backend(Backend::Lut);
+        let (w, l, vgs, vds) = (20e-6, 0.5e-6, 0.9, 0.9);
+        let (id_sq, _, _) = card.mos_iv(&card.nmos, w, l, vgs, vds);
+        let (id_lut, _, _) = lut.mos_iv(&lut.nmos, w, l, vgs, vds);
+        assert!(
+            (id_lut - id_sq).abs() <= 0.05 * id_sq.abs(),
+            "{id_lut} {id_sq}"
+        );
+        let nominal_lut = TechNode::n180().with_backend(Backend::Lut);
+        let (id_lut_nom, _, _) = nominal_lut.mos_iv(&nominal_lut.nmos, w, l, vgs, vds);
+        assert_ne!(id_lut, id_lut_nom);
     }
 
     #[test]

@@ -56,7 +56,7 @@ const CGG_DEPLETION_FRACTION: f64 = 0.35;
 ///
 /// Smooth moderate-inversion interpolation consistent with the `mos_iv`
 /// charge model: the intrinsic part transitions from
-/// [`CGG_DEPLETION_FRACTION`]`·W·L·Cox` in depletion to the full `W·L·Cox`
+/// `CGG_DEPLETION_FRACTION·W·L·Cox` in depletion to the full `W·L·Cox`
 /// in strong inversion through the same logistic the current model uses,
 /// plus a bias-independent overlap term proportional to `w`. Monotone
 /// non-decreasing in `vgs` and exactly linear in `w`.

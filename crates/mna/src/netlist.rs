@@ -74,6 +74,22 @@ impl MosModel {
             vth_tc: -1e-3,
         }
     }
+
+    /// This card with a local (per-device) perturbation applied: `Vth`
+    /// shifted by `dvth` volts and `KP` scaled by `kp_scale` — the form
+    /// device mismatch takes in this model family. Because the I–V
+    /// equations depend on `vgs` only through `vgs − vth` and are linear
+    /// in `KP`, evaluating the perturbed card is equivalent to querying
+    /// the nominal card at `vgs − dvth` and scaling currents by
+    /// `kp_scale` (the remap the tech-card routing layer exploits).
+    #[must_use]
+    pub fn perturbed(&self, dvth: f64, kp_scale: f64) -> Self {
+        MosModel {
+            vth: self.vth + dvth,
+            kp: self.kp * kp_scale,
+            ..*self
+        }
+    }
 }
 
 /// Exponential-junction diode model (also used as a diode-connected BJT

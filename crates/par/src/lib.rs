@@ -154,6 +154,93 @@ where
         .collect()
 }
 
+/// Fault-isolating sibling of [`par_map_dynamic`]: streams items through
+/// the pool with dynamic work-claiming and returns, **in input order**,
+/// `Ok(result)` per item or `Err(message)` for an item whose closure
+/// panicked.
+///
+/// Where [`try_par_map`] pre-shards the input into equal contiguous chunks
+/// (one sync point, best locality), this variant lets each worker claim
+/// the next unprocessed index from a shared atomic counter as soon as it
+/// finishes its current item. That is the right schedule when per-item
+/// cost is wildly uneven — e.g. an early-aborting Monte-Carlo yield
+/// evaluation, where one candidate costs a single sample and its neighbour
+/// costs `corners × samples` — because a run of expensive items can no
+/// longer serialise a whole chunk behind the same worker.
+///
+/// The claim order is scheduler-dependent, but each result is written back
+/// to its item's own slot, so the *output* is in input order and — for a
+/// pure `f` — bitwise identical to the serial loop at any thread count.
+pub fn try_par_map_dynamic<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let caught =
+        move |t: &T| catch_unwind(AssertUnwindSafe(|| f(t))).map_err(|p| panic_message(&*p));
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(caught).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let next = &next;
+    let caught = &caught;
+    let mut parts = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        mine.push((i, caught(item)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        parts
+    });
+    // Scatter claimed results back into input order.
+    let mut out: Vec<Option<Result<R, String>>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in parts.drain(..) {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Streams items through the pool with dynamic work-claiming and returns
+/// the results **in input order** — the schedule of choice when per-item
+/// cost is heavily data-dependent (see [`try_par_map_dynamic`] for the
+/// rationale and the determinism argument). With one thread (or one item)
+/// this is exactly `items.iter().map(f).collect()`.
+///
+/// Delegates to [`try_par_map_dynamic`]; a panicking item re-raises here
+/// (with the captured message) after the rest of the fan-out completed.
+pub fn par_map_dynamic<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map_dynamic(items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("{msg}")))
+        .collect()
+}
+
 /// Mutable sibling of [`par_map`]: applies `f` to every item through a
 /// mutable reference (e.g. warm-started surrogate refits) and returns the
 /// per-item results in input order.
@@ -316,6 +403,53 @@ mod tests {
         });
         assert_eq!(olds, (0..41).collect::<Vec<_>>());
         assert_eq!(items, (100..141).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_dynamic_matches_serial_bitwise() {
+        let items: Vec<f64> = (0..157).map(|i| f64::from(i) * 0.73).collect();
+        let f = |x: &f64| (x.cos() * 1e2).exp().ln() - x.cbrt();
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        assert_eq!(par_map_dynamic(&items, f), serial);
+        assert!(par_map_dynamic::<usize, usize, _>(&[], |&i| i).is_empty());
+        assert_eq!(par_map_dynamic(&[9], |&i: &usize| i * i), vec![81]);
+    }
+
+    #[test]
+    fn par_map_dynamic_keeps_order_under_uneven_cost() {
+        // Items deliberately cost wildly different amounts; the output must
+        // still land in input order.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_dynamic(&items, |&i| {
+            if i % 7 == 0 {
+                // Burn some cycles so claim order scrambles.
+                let mut acc = 0_u64;
+                for k in 0..20_000 {
+                    acc = acc.wrapping_mul(31).wrapping_add(k ^ i as u64);
+                }
+                std::hint::black_box(acc);
+            }
+            i * 3
+        });
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_par_map_dynamic_isolates_a_panicking_item() {
+        quietly(|| {
+            let items: Vec<usize> = (0..29).collect();
+            let out = try_par_map_dynamic(&items, |&i| {
+                assert!(i != 17, "dynamic failure on {i}");
+                i + 5
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i == 17 {
+                    assert!(r.as_ref().unwrap_err().contains("dynamic failure on 17"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i + 5));
+                }
+            }
+        });
     }
 
     #[test]

@@ -36,6 +36,9 @@ OPTIONS:
 REQUEST:
     {\"id\":\"job-1\",\"scenario\":\"opamp2\",\"tech\":\"40nm\",\"corner\":\"tt\",
      \"specs\":{\"gain_db\":55.0},\"seed\":11,\"budget\":40,\"deadline_ms\":60000}
+    add \"yield_samples\":16 to optimise Monte-Carlo mismatch yield instead
+    of the nominal circuit (threshold from the scenario preset, or a
+    \"yield\" entry in specs)
 
 OPS:
     {\"op\":\"health\"}   report bank/cache/served-job status (no simulations)

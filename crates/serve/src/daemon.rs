@@ -92,6 +92,11 @@ impl SizingProblem for FaultProblem<'_> {
     fn expert_design(&self) -> Vec<f64> {
         self.inner.expert_design()
     }
+    fn streaming_hint(&self) -> bool {
+        // The failpoint shim never changes evaluation cost; keep the inner
+        // problem's scheduling preference (yield problems stream).
+        self.inner.streaming_hint()
+    }
 }
 
 /// Runs one sizing job, warm-starting from `bank` when it holds archives
@@ -333,7 +338,13 @@ impl Daemon {
             .to_string();
         }
         let settings = request_settings(request.budget, request.seed);
-        let bank = self.bank.as_ref();
+        // Yield jobs carry an extra metric, so nominal bank archives don't
+        // align with them (and vice versa): run them bankless.
+        let bank = if request.yield_samples.is_some() {
+            None
+        } else {
+            self.bank.as_ref()
+        };
         let run_budget = request.deadline_ms.map(RunBudget::deadline_ms);
         // Panic isolation: a crashing evaluation answers this request with
         // an error instead of taking the daemon down.
@@ -380,9 +391,16 @@ impl Daemon {
     /// Appends a completed job to the bank (when attached) and caches it.
     /// Degraded (deadline-truncated) traces are persisted to neither: a
     /// partial search must not pollute the bank's archives or answer a
-    /// later request that asked for the full budget.
+    /// later request that asked for the full budget. Yield runs are cached
+    /// but never archived — their metric vector (with the appended
+    /// `"yield"` column) does not align with nominal archives of the same
+    /// scenario.
     fn persist(&mut self, job: JobResult) {
         if job.degraded {
+            return;
+        }
+        if job.request.yield_samples.is_some() {
+            self.cache.store(job.key, job.history, job.warm);
             return;
         }
         if let Some(bank) = self.bank.as_mut() {
@@ -467,8 +485,15 @@ impl Daemon {
                 })?;
                 let settings = request_settings(request.budget, request.seed);
                 let run_budget = request.deadline_ms.map(RunBudget::deadline_ms);
+                // Same bank gating as the serial path: yield jobs run
+                // bankless (metric vectors don't align with nominal runs).
+                let job_bank = if request.yield_samples.is_some() {
+                    None
+                } else {
+                    bank
+                };
                 let (history, warm) = run_with_bank(
-                    bank,
+                    job_bank,
                     &request.scenario,
                     tech,
                     &*problem,

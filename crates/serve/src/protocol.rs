@@ -11,6 +11,16 @@
 //!  "specs":{"gain_db":55.0},"seed":11,"budget":40}
 //! ```
 //!
+//! Adding `"yield_samples": 16` switches the job to Monte-Carlo yield
+//! optimisation: each simulated candidate is scored by its pass-rate over
+//! 16 Pelgrom mismatch samples (× the requested corner set), and a
+//! `yield ≥ threshold` constraint joins the spec table (threshold from the
+//! scenario preset, or a `"yield"` entry in `specs`). Yield runs are
+//! cached under a key with a `|y<n>` suffix — nominal keys are unchanged,
+//! so caches written before this field existed stay valid — and are *not*
+//! archived to the knowledge bank (their metric vector differs from
+//! nominal archives).
+//!
 //! Unknown top-level keys are rejected (a typo'd field silently ignored is
 //! a wrong answer delivered with confidence). Responses carry the run's
 //! outcome plus serving metadata — whether the result was a cache hit and
@@ -19,7 +29,7 @@
 use crate::bank::SourceChoice;
 use crate::json::Json;
 use kato::{RunHistory, WorstCaseProblem};
-use kato_circuits::{Backend, OverriddenProblem, ScenarioRegistry, SizingProblem};
+use kato_circuits::{Backend, OverriddenProblem, ScenarioRegistry, SizingProblem, YieldSettings};
 
 /// Top-level request keys the daemon understands.
 const ALLOWED_KEYS: &[&str] = &[
@@ -32,6 +42,7 @@ const ALLOWED_KEYS: &[&str] = &[
     "budget",
     "deadline_ms",
     "backend",
+    "yield_samples",
 ];
 
 /// Default simulation budget when the request omits one.
@@ -40,6 +51,10 @@ pub const DEFAULT_BUDGET: usize = 40;
 pub const DEFAULT_SEED: u64 = 11;
 /// Budgets above this are rejected as misconfigured rather than queued.
 pub const MAX_BUDGET: usize = 5000;
+/// Monte-Carlo sample counts above this are rejected — each sample costs a
+/// full corner sweep per simulation, so a typo'd count must not queue days
+/// of work.
+pub const MAX_YIELD_SAMPLES: usize = 1024;
 
 /// A parsed sizing request.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +82,12 @@ pub struct SizingRequest {
     /// cache key, because the two backends produce (slightly) different
     /// metrics and therefore different run traces.
     pub backend: Option<Backend>,
+    /// Monte-Carlo mismatch sample count: when set, the run optimises the
+    /// scenario's [`kato_circuits::YieldProblem`] (pass-rate over this many
+    /// Pelgrom mismatch samples × the requested corner set) instead of the
+    /// nominal circuit. The yield threshold comes from the scenario's
+    /// preset, or from a `"yield"` entry in `specs`.
+    pub yield_samples: Option<usize>,
 }
 
 impl SizingRequest {
@@ -138,6 +159,17 @@ impl SizingRequest {
                     .ok_or("'backend' must be \"square_law\" or \"lut\"")
             })
             .transpose()?;
+        let yield_samples = doc
+            .get("yield_samples")
+            .map(|v| {
+                v.as_u64()
+                    .map(|n| n as usize)
+                    .filter(|&n| (1..=MAX_YIELD_SAMPLES).contains(&n))
+                    .ok_or(format!(
+                        "'yield_samples' must be in 1..={MAX_YIELD_SAMPLES}"
+                    ))
+            })
+            .transpose()?;
         let mut overrides = Vec::new();
         if let Some(specs) = doc.get("specs") {
             let entries = specs.as_obj().ok_or("'specs' must be an object")?;
@@ -158,6 +190,7 @@ impl SizingRequest {
             budget,
             deadline_ms,
             backend,
+            yield_samples,
         })
     }
 
@@ -176,7 +209,7 @@ impl SizingRequest {
         let mut specs: Vec<&(String, f64)> = self.overrides.iter().collect();
         specs.sort_by(|a, b| a.0.cmp(&b.0));
         let specs: Vec<String> = specs.iter().map(|(k, v)| format!("{k}={v}")).collect();
-        format!(
+        let base = format!(
             "{}|{}|{}|{}|{}|{}|{}",
             self.scenario,
             resolved_tech,
@@ -185,7 +218,14 @@ impl SizingRequest {
             self.seed,
             self.budget,
             self.backend.map_or("default", Backend::name)
-        )
+        );
+        // The yield segment is appended only when present, so keys of
+        // nominal requests are byte-identical to what older daemons wrote —
+        // a persisted cache survives the protocol extension.
+        match self.yield_samples {
+            None => base,
+            Some(n) => format!("{base}|y{n}"),
+        }
     }
 
     /// Resolves the request against the registry into a ready-to-optimise
@@ -194,6 +234,14 @@ impl SizingRequest {
     /// `corner: "worst"` builds the scenario's [`WorstCaseProblem`] over
     /// its registered sweep; any other corner name builds the single-corner
     /// problem. Spec overrides wrap the result in an [`OverriddenProblem`].
+    ///
+    /// With `yield_samples` set, the base problem is instead the scenario's
+    /// [`kato_circuits::YieldProblem`]: `corner: "worst"` sweeps the
+    /// scenario's registered corners per mismatch sample, any other corner
+    /// name estimates yield at that single corner. A `"yield"` entry in
+    /// `specs` is routed into the yield *threshold* rather than a plain
+    /// spec-row edit, so the estimator's early-abort censoring always
+    /// agrees with the feasibility classification.
     ///
     /// # Errors
     ///
@@ -208,7 +256,41 @@ impl SizingRequest {
             .as_deref()
             .unwrap_or(scenario.default_tech)
             .to_string();
-        let base: Box<dyn SizingProblem> = if self.corner == "worst" {
+        let mut overrides = self.overrides.clone();
+        let base: Box<dyn SizingProblem> = if let Some(samples) = self.yield_samples {
+            let threshold = match overrides.iter().position(|(k, _)| k == "yield") {
+                Some(i) => {
+                    let (_, t) = overrides.remove(i);
+                    if !(t > 0.0 && t <= 1.0) {
+                        return Err(format!("'yield' override {t} outside (0, 1]"));
+                    }
+                    t
+                }
+                None => scenario.yield_preset.threshold,
+            };
+            let corners = if self.corner == "worst" {
+                None
+            } else {
+                Some(vec![scenario
+                    .corner(&self.corner)
+                    .map_err(|e| e.to_string())?])
+            };
+            Box::new(
+                scenario
+                    .build_yield(
+                        &tech,
+                        self.backend,
+                        YieldSettings {
+                            samples,
+                            threshold,
+                            seed: self.seed,
+                            early_abort: true,
+                            corners,
+                        },
+                    )
+                    .map_err(|e| e.to_string())?,
+            )
+        } else if self.corner == "worst" {
             Box::new(
                 WorstCaseProblem::with_backend(scenario, &tech, self.backend)
                     .map_err(|e| e.to_string())?,
@@ -219,7 +301,7 @@ impl SizingRequest {
                 .build_at(&tech, &corner, self.backend)
                 .map_err(|e| e.to_string())?
         };
-        let problem = OverriddenProblem::new(base, &self.overrides)?;
+        let problem = OverriddenProblem::new(base, &overrides)?;
         Ok((Box::new(problem), tech))
     }
 }
@@ -284,6 +366,12 @@ pub fn response_json(
         ),
         ("seed", Json::Num(request.seed as f64)),
         ("budget", Json::Num(request.budget as f64)),
+        (
+            "yield_samples",
+            request
+                .yield_samples
+                .map_or(Json::Null, |n| Json::Num(n as f64)),
+        ),
         ("cache_hit", Json::Bool(cache_hit)),
         ("degraded", Json::Bool(degraded)),
         ("warm_start", warm_json),
@@ -393,6 +481,79 @@ mod tests {
             let err = SizingRequest::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line} → {err}");
         }
+    }
+
+    #[test]
+    fn yield_requests_parse_build_and_key_with_suffix() {
+        let req =
+            SizingRequest::parse(r#"{"scenario":"opamp2","yield_samples":8,"seed":5}"#).unwrap();
+        assert_eq!(req.yield_samples, Some(8));
+        // Nominal keys are byte-identical to the pre-yield format; yield
+        // keys append the |y<n> segment.
+        let nominal = SizingRequest::parse(r#"{"scenario":"opamp2","seed":5}"#).unwrap();
+        assert_eq!(nominal.yield_samples, None);
+        assert_eq!(
+            format!("{}|y8", nominal.cache_key("180nm")),
+            req.cache_key("180nm")
+        );
+
+        let reg = ScenarioRegistry::standard();
+        let (p, tech) = req.build_problem(&reg).unwrap();
+        assert_eq!(tech, "180nm");
+        assert!(p.name().contains("yield8"), "{}", p.name());
+        assert_eq!(p.metric_names().last(), Some(&"yield"));
+        // Default corner "tt" → a single-corner yield estimate; "worst"
+        // sweeps the scenario's registered corners per sample.
+        let worst =
+            SizingRequest::parse(r#"{"scenario":"opamp2","yield_samples":4,"corner":"worst"}"#)
+                .unwrap();
+        assert!(worst.build_problem(&reg).is_ok());
+
+        for bad in [
+            r#"{"scenario":"opamp2","yield_samples":0}"#,
+            r#"{"scenario":"opamp2","yield_samples":4096}"#,
+            r#"{"scenario":"opamp2","yield_samples":"many"}"#,
+        ] {
+            assert!(
+                SizingRequest::parse(bad)
+                    .unwrap_err()
+                    .contains("yield_samples"),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn yield_override_becomes_the_threshold_not_a_spec_edit() {
+        let reg = ScenarioRegistry::standard();
+        let req = SizingRequest::parse(
+            r#"{"scenario":"opamp2","yield_samples":4,"specs":{"yield":0.25}}"#,
+        )
+        .unwrap();
+        let (p, _) = req.build_problem(&reg).unwrap();
+        // Routed into the YieldProblem threshold: the yield spec row bound
+        // must be the override, and the name must NOT be the _custom form
+        // an OverriddenProblem spec edit would produce.
+        let yield_idx = p.metric_names().len() - 1;
+        let bound = p.specs().iter().find_map(|s| match s.kind {
+            kato_circuits::SpecKind::GreaterEq(b) if s.metric == yield_idx => Some(b),
+            _ => None,
+        });
+        assert_eq!(bound, Some(0.25));
+        assert!(!p.name().contains("custom"), "{}", p.name());
+        // Out-of-range thresholds are rejected at build time.
+        let bad = SizingRequest::parse(
+            r#"{"scenario":"opamp2","yield_samples":4,"specs":{"yield":1.5}}"#,
+        )
+        .unwrap();
+        let err = bad
+            .build_problem(&reg)
+            .err()
+            .expect("threshold 1.5 must be rejected");
+        assert!(err.contains("yield"), "{err}");
+        // Without yield_samples, a "yield" spec names no metric → error.
+        let stray = SizingRequest::parse(r#"{"scenario":"opamp2","specs":{"yield":0.5}}"#).unwrap();
+        assert!(stray.build_problem(&reg).is_err());
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! -> acquisition -> optimizer) on the real two-stage op-amp.
 
 use kato::baselines::RandomSearch;
-use kato::{BoSettings, Kato, Mode};
-use kato_circuits::{FomSpec, SizingProblem, TechNode, TwoStageOpAmp};
+use kato::{evaluate_batch_sharded, BoSettings, Kato, Mode};
+use kato_circuits::{
+    FomSpec, ScenarioRegistry, SizingProblem, TechNode, TwoStageOpAmp, YieldSettings,
+};
 
 #[test]
 fn kato_constrained_beats_random_search_on_opamp2() {
@@ -40,6 +42,71 @@ fn kato_fom_mode_improves_monotonically_and_terminates() {
         assert!(w[1] >= w[0], "best-so-far must be monotone");
     }
     assert!(curve[39] > curve[9], "BO phase must improve over init");
+}
+
+/// The early-abort contract: skipping mismatch samples that can no longer
+/// change a candidate's feasibility classification must not change *any*
+/// recorded number. Every registry scenario's yield estimates — and a full
+/// seeded optimisation trajectory — must be bitwise-identical with the
+/// abort schedule on and off.
+#[test]
+fn early_abort_never_changes_yield_estimates_or_trajectories() {
+    let reg = ScenarioRegistry::standard();
+    let settings = |abort: bool| YieldSettings {
+        samples: 5,
+        threshold: 0.6,
+        seed: 31,
+        early_abort: abort,
+        corners: None,
+    };
+    for scenario in reg.scenarios() {
+        let on = scenario
+            .build_yield(scenario.default_tech, None, settings(true))
+            .unwrap();
+        let off = scenario
+            .build_yield(scenario.default_tech, None, settings(false))
+            .unwrap();
+        let xs: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..on.dim())
+                    .map(|j| ((i * 29 + j * 13) % 97) as f64 / 97.0)
+                    .collect()
+            })
+            .chain([on.expert_design()])
+            .collect();
+        let with_abort = evaluate_batch_sharded(&on, &xs);
+        let without = evaluate_batch_sharded(&off, &xs);
+        assert_eq!(
+            with_abort, without,
+            "{}: early abort changed a recorded yield evaluation",
+            scenario.name
+        );
+    }
+
+    // Full BO trajectory on the flagship scenario: identical histories.
+    let opamp2 = reg.get("opamp2").unwrap();
+    let on = opamp2
+        .build_yield(opamp2.default_tech, None, settings(true))
+        .unwrap();
+    let off = opamp2
+        .build_yield(opamp2.default_tech, None, settings(false))
+        .unwrap();
+    let mut s = BoSettings::quick(14, 31);
+    s.n_init = 10;
+    let h_on = Kato::new(s.clone()).run(&on, Mode::Constrained);
+    let h_off = Kato::new(s).run(&off, Mode::Constrained);
+    assert_eq!(h_on.len(), h_off.len());
+    for (a, b) in h_on.evals.iter().zip(&h_off.evals) {
+        assert_eq!(a.x, b.x, "proposal sequence diverged");
+        assert_eq!(a.metrics, b.metrics, "recorded metrics diverged");
+        assert_eq!(a.feasible, b.feasible);
+        assert!(
+            a.score == b.score || (a.score.is_nan() && b.score.is_nan()),
+            "scores diverged: {} vs {}",
+            a.score,
+            b.score
+        );
+    }
 }
 
 #[test]

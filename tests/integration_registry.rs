@@ -4,7 +4,7 @@
 //! full KATO loop.
 
 use kato::{corner_audit, BoSettings, Kato, Mode, WorstCaseProblem};
-use kato_circuits::{Corner, ScenarioRegistry};
+use kato_circuits::{Corner, ScenarioRegistry, SizingProblem, YieldSettings};
 
 #[test]
 fn registry_lists_at_least_six_scenarios() {
@@ -49,6 +49,49 @@ fn every_scenario_expert_design_is_feasible_at_nominal() {
             "{} expert must meet spec at TT: {m}",
             p.name()
         );
+    }
+}
+
+#[test]
+fn every_scenario_tech_combination_builds_and_evaluates_a_yield_problem() {
+    let reg = ScenarioRegistry::standard();
+    let samples = 4usize;
+    for scenario in reg.scenarios() {
+        for tech in scenario.tech_names {
+            // TT-only so the baseline comparison below is apples-to-apples
+            // with the scenario's nominal build.
+            let p = scenario
+                .build_yield(
+                    tech,
+                    None,
+                    YieldSettings {
+                        samples,
+                        threshold: 0.5,
+                        seed: 7,
+                        corners: Some(vec![Corner::tt()]),
+                        ..YieldSettings::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{}@{tech}: {e}", scenario.name));
+            let expert = p.expert_design();
+            let m = p.evaluate(&expert);
+            assert!(
+                m.values().iter().all(|v| v.is_finite()),
+                "{}: yield evaluation must stay finite: {m}",
+                p.name()
+            );
+            // Sample 0 is the nominal evaluation, so a nominal-feasible
+            // expert design scores at least 1/N yield at TT.
+            let nominal = scenario.build(tech, &Corner::tt()).unwrap();
+            if nominal.evaluate(&expert).feasible(nominal.specs()) {
+                let y = m.get(p.yield_metric());
+                assert!(
+                    y >= 1.0 / samples as f64,
+                    "{}: nominal-feasible expert scored yield {y}",
+                    p.name()
+                );
+            }
+        }
     }
 }
 
